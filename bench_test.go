@@ -1,0 +1,413 @@
+// Package repro_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (run with `go test -bench=. -benchmem`).
+//
+// Experiment benchmarks (one per table/figure; see EXPERIMENTS.md):
+//
+//	BenchmarkTableIProfiling     — Step 1 profiling of the five machines
+//	BenchmarkFig1CandidateFilter — Step 2/3 filtering of A–D
+//	BenchmarkFig2CrossingPoints  — Step 3 and Step 4 threshold computation
+//	BenchmarkFig3ProfileSeries   — measured power/performance series
+//	BenchmarkFig4CombinationCurve— ideal BML combination curve
+//	BenchmarkFig5Scenarios       — the four-scenario daily-energy evaluation
+//
+// Ablation benchmarks explore the design choices DESIGN.md calls out:
+// look-ahead window size, predictor choice, Step 4 versus Step 3
+// thresholds, and injected prediction error (the paper's future work).
+// Fig5-style benchmarks run on a compressed 2-day trace so a full -bench
+// pass stays under a minute; cmd/bmlsim regenerates the full 87-day runs.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/bml"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/profiler"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wc98"
+)
+
+// benchTrace caches the compressed evaluation trace across benchmarks.
+var benchTrace *trace.Trace
+
+func getBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	if benchTrace == nil {
+		cfg := trace.DefaultWorldCupConfig()
+		cfg.Days = 2
+		cfg.Seed = 77
+		tr, err := trace.GenerateWorldCup(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTrace = tr
+	}
+	return benchTrace
+}
+
+func getPlanner(b *testing.B) *bml.Planner {
+	b.Helper()
+	p, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkTableIProfiling regenerates Table I: the full Step 1 measurement
+// pipeline (wattmeter-sampled idle/max power, automaton-timed On/Off
+// cycles) for all five machines.
+func BenchmarkTableIProfiling(b *testing.B) {
+	ctx := context.Background()
+	catalog := profile.PaperMachines()
+	cfg := profiler.Config{SkipLiveBench: true, MeterNoise: 0.015, MeterSeed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		profiles, err := profiler.ProfileAll(ctx, catalog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(profiles) != 5 {
+			b.Fatalf("profiles = %d", len(profiles))
+		}
+	}
+}
+
+// BenchmarkFig1CandidateFilter regenerates the Figure 1 narrative: Step 2
+// dominance filtering plus Step 3 never-crossing pruning on the
+// illustrative A–D catalog.
+func BenchmarkFig1CandidateFilter(b *testing.B) {
+	catalog := profile.Illustrative()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kept, removed, err := bml.SelectCandidates(catalog, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(kept) != 3 || len(removed) != 1 {
+			b.Fatalf("kept %d removed %d", len(kept), len(removed))
+		}
+	}
+}
+
+// BenchmarkFig2CrossingPoints regenerates both panels of Figure 2: the
+// Step 3 (homogeneous) and Step 4 (combinations) crossing points.
+func BenchmarkFig2CrossingPoints(b *testing.B) {
+	cands, _, err := bml.SelectCandidates(profile.Illustrative(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []bml.ThresholdMode{bml.Homogeneous, bml.Combinations} {
+			if _, err := bml.ComputeThresholds(cands, mode, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3ProfileSeries regenerates the measured power/performance
+// series of the five real machines.
+func BenchmarkFig3ProfileSeries(b *testing.B) {
+	catalog := profile.PaperMachines()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := report.ProfileSeries(io.Discard, catalog, 1331, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4CombinationCurve regenerates Figure 4: the ideal BML
+// combination power at every integer rate up to Big's maximum, against the
+// Big-only and BML-linear references.
+func BenchmarkFig4CombinationCurve(b *testing.B) {
+	planner := getPlanner(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := planner.Table(1331)
+		if tab.Len() != 1332 {
+			b.Fatalf("table len %d", tab.Len())
+		}
+		if err := report.Fig4Series(io.Discard, planner, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Scenarios regenerates the Figure 5 evaluation — all four
+// scenarios — on the compressed 2-day trace.
+func BenchmarkFig5Scenarios(b *testing.B) {
+	tr := getBenchTrace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev, err := wc98.Run(tr, profile.PaperMachines(), wc98.Config{FirstDay: 1, LastDay: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ev.Rows) != 2 {
+			b.Fatalf("rows = %d", len(ev.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationWindowFactor sweeps the look-ahead window rule (the
+// paper fixes it at 2× the longest boot; 1× risks QoS, 4× over-provisions).
+func BenchmarkAblationWindowFactor(b *testing.B) {
+	tr := getBenchTrace(b)
+	planner := getPlanner(b)
+	for _, factor := range []float64{1, 2, 4} {
+		b.Run(fmt.Sprintf("factor=%g", factor), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{WindowFactor: factor})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				b.ReportMetric((1-res.QoS.Availability())*1e6, "ppm-lost")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares the paper's look-ahead-max against
+// the oracle, last-value and EWMA predictors.
+func BenchmarkAblationPredictor(b *testing.B) {
+	tr := getBenchTrace(b)
+	planner := getPlanner(b)
+	preds := map[string]func() predict.Predictor{
+		"lookahead-max": func() predict.Predictor { return nil },
+		"oracle":        func() predict.Predictor { return predict.NewOracle(tr) },
+		"last-value":    func() predict.Predictor { return predict.NewLastValue(tr) },
+		"ewma":          func() predict.Predictor { p, _ := predict.NewEWMA(tr, 0.1); return p },
+	}
+	for name, mk := range preds {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{Predictor: mk()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				b.ReportMetric((1-res.QoS.Availability())*1e6, "ppm-lost")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThresholdMode compares planners built with Step 4
+// thresholds (the paper's) against Step 3 homogeneous-only thresholds.
+func BenchmarkAblationThresholdMode(b *testing.B) {
+	tr := getBenchTrace(b)
+	for _, mode := range []bml.ThresholdMode{bml.Homogeneous, bml.Combinations} {
+		b.Run(mode.String(), func(b *testing.B) {
+			planner, err := bml.NewPlanner(profile.PaperMachines(), bml.WithThresholdMode(mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictionError injects relative prediction error (the
+// paper's stated future work) and reports its energy and QoS cost.
+func BenchmarkAblationPredictionError(b *testing.B) {
+	tr := getBenchTrace(b)
+	planner := getPlanner(b)
+	base, err := predict.NewLookaheadMax(tr, 378)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, errLevel := range []float64{0, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("err=%g%%", errLevel*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var p predict.Predictor = base
+				if errLevel > 0 {
+					wrapped, werr := predict.NewErrorInjector(base, errLevel, 7)
+					if werr != nil {
+						b.Fatal(werr)
+					}
+					p = wrapped
+				}
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{Predictor: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				b.ReportMetric((1-res.QoS.Availability())*1e6, "ppm-lost")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOverheadAware compares the plain scheduler against the
+// future-work policy that skips reconfigurations unable to amortize their
+// switching energy.
+func BenchmarkAblationOverheadAware(b *testing.B) {
+	tr := getBenchTrace(b)
+	planner := getPlanner(b)
+	for _, aware := range []bool{false, true} {
+		name := "plain"
+		if aware {
+			name = "overhead-aware"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{OverheadAware: aware})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				b.ReportMetric(float64(res.Decisions), "decisions")
+				b.ReportMetric(float64(res.Skipped), "skipped")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPatternPredictor compares the paper's future-peeking
+// look-ahead-max against the causal daily-pattern predictor (§III's
+// "partial" load-knowledge class), which only uses past samples.
+func BenchmarkAblationPatternPredictor(b *testing.B) {
+	tr := getBenchTrace(b)
+	planner := getPlanner(b)
+	pattern, err := predict.NewDailyPattern(tr, 378, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := []struct {
+		name string
+		p    predict.Predictor
+	}{
+		{"lookahead-max", nil},
+		{"daily-pattern", pattern},
+	}
+	for _, pc := range preds {
+		b.Run(pc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{Predictor: pc.p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				b.ReportMetric((1-res.QoS.Availability())*1e6, "ppm-lost")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMigrationCost sweeps the application migration energy
+// (§III's migration overhead evaluation) and reports its share of total
+// energy.
+func BenchmarkAblationMigrationCost(b *testing.B) {
+	tr := getBenchTrace(b)
+	planner := getPlanner(b)
+	for _, energy := range []float64{0, 50, 500} {
+		b.Run(fmt.Sprintf("migJ=%g", energy), func(b *testing.B) {
+			spec := app.StatelessWebServer()
+			spec.Migration.Energy = power.Joules(energy)
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{App: &spec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				b.ReportMetric(float64(res.MigrationEnergy), "migJ")
+			}
+		})
+	}
+}
+
+// BenchmarkExactSolver measures the DP table construction cost (the
+// LowerBound scenario's dominant setup).
+func BenchmarkExactSolver(b *testing.B) {
+	cands, _, err := bml.SelectCandidates(profile.PaperMachines(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bml.NewExactSolver(cands, 5400, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerCombination measures a single ideal-combination query.
+func BenchmarkPlannerCombination(b *testing.B) {
+	planner := getPlanner(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := planner.Combination(float64(1 + i%5000))
+		if c.TotalNodes() == 0 {
+			b.Fatal("empty combination")
+		}
+	}
+}
+
+// BenchmarkSlidingMax measures the look-ahead precomputation over one day.
+func BenchmarkSlidingMax(b *testing.B) {
+	tr := getBenchTrace(b)
+	day, err := tr.Day(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := day.SlidingMax(378); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerDay measures one simulated day of the full BML
+// scheduler (predictor + combination lookup + cluster automata).
+func BenchmarkSchedulerDay(b *testing.B) {
+	tr := getBenchTrace(b)
+	day, err := tr.Day(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner := getPlanner(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunBML(day, planner, sim.BMLConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProportionalityMetrics measures IPR/LDR/gap computation on the
+// BML combination curve.
+func BenchmarkProportionalityMetrics(b *testing.B) {
+	planner := getPlanner(b)
+	curve := power.SampleModel(planner.Model(1331), 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.IPR(curve); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := power.LDR(curve); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := power.ProportionalityGap(curve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command bmlplan runs Steps 2–5 of the BML methodology on a machine
+// catalog and prints the candidate filtering audit (Figure 1), the
+// crossing-point thresholds of Steps 3 and 4 (Figure 2), sample ideal
+// combinations (final step), and the Figure 4 power curves.
+//
+// Usage:
+//
+//	bmlplan                  # paper's Table I machines
+//	bmlplan -illustrative    # Figure 1/2's architectures A–D
+//	bmlplan -crossings       # also print Step 3 vs Step 4 thresholds
+//	bmlplan -fig4            # emit the Figure 4 CSV series to stdout
+//	bmlplan -table           # print ideal combinations at sample rates
+//	bmlplan -metrics         # energy-proportionality metrics (IPR/LDR)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bml"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bmlplan: ")
+	var (
+		illustrative = flag.Bool("illustrative", false, "use the paper's illustrative architectures A–D instead of Table I")
+		crossings    = flag.Bool("crossings", false, "print Step 3 (homogeneous) and Step 4 (combinations) thresholds side by side")
+		fig4         = flag.Bool("fig4", false, "emit the Figure 4 CSV series (BML combination vs Big vs BML-linear)")
+		table        = flag.Bool("table", false, "print ideal combinations at sample rates")
+		metrics      = flag.Bool("metrics", false, "print energy-proportionality metrics for the combination curve")
+		step         = flag.Float64("step", 1, "rate grid granularity (requests/s)")
+		points       = flag.Int("points", 100, "number of sample points for -fig4")
+	)
+	flag.Parse()
+
+	catalog := profile.PaperMachines()
+	if *illustrative {
+		catalog = profile.Illustrative()
+	}
+
+	planner, err := bml.NewPlanner(catalog, bml.WithStep(*step))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *fig4 {
+		if err := report.Fig4Series(os.Stdout, planner, *points); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("== Step 2/3: candidate filtering ==")
+	if err := report.Removals(os.Stdout, planner.Removals()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	roles := map[string]string{}
+	for _, c := range planner.Candidates() {
+		roles[c.Name] = planner.Role(c.Name)
+	}
+
+	fmt.Println("== Surviving candidates (Big→Little) ==")
+	if err := report.TableI(os.Stdout, planner.Candidates()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	if *crossings {
+		step3, err := bml.ComputeThresholds(planner.Candidates(), bml.Homogeneous, *step)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.Thresholds(os.Stdout, step3, roles, bml.Homogeneous); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("== Step 4 thresholds (used by the planner) ==")
+	if err := report.Thresholds(os.Stdout, planner.Thresholds(), roles, bml.Combinations); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	if *table {
+		big := planner.Big()
+		rates := []float64{1, 5, 10, 50, 100, 250, 529, big.MaxPerf, big.MaxPerf + 100, 2 * big.MaxPerf, 3*big.MaxPerf + 500}
+		fmt.Println("== Ideal BML combinations ==")
+		if err := report.CombinationTable(os.Stdout, planner, rates); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *metrics {
+		max := planner.Big().MaxPerf
+		curve := power.SampleModel(planner.Model(max), 200)
+		if err := report.Proportionality(os.Stdout, "BML combination", curve); err != nil {
+			log.Fatal(err)
+		}
+		bigCurve := power.SampleModel(planner.Big().Model(), 200)
+		if err := report.Proportionality(os.Stdout, "Big only", bigCurve); err != nil {
+			log.Fatal(err)
+		}
+		linCurve := power.SampleModel(planner.BMLLinear(), 200)
+		if err := report.Proportionality(os.Stdout, "BML linear", linCurve); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

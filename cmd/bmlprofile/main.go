@@ -1,0 +1,85 @@
+// Command bmlprofile regenerates Step 1's measurements: Table I (the
+// per-architecture profiles) and the Figure 3 power/performance series.
+//
+// By default the profiler drives the emulated hardware through the full
+// measurement pipeline (wattmeter-sampled power, automaton-timed On/Off
+// cycles) but takes the maximum performance from the emulation parameters.
+// With -live it additionally spins up a real HTTP instance per architecture
+// and benchmarks it with the Siege-equivalent load generator (slower; the
+// emulated rate is scaled down with -rate-scale to keep runs short).
+//
+// Usage:
+//
+//	bmlprofile                  # Table I from the emulated pipeline
+//	bmlprofile -noise 0.015     # with 1.5% wattmeter noise
+//	bmlprofile -live -rate-scale 0.1
+//	bmlprofile -series          # Figure 3 CSV series to stdout
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/profiler"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bmlprofile: ")
+	var (
+		series    = flag.Bool("series", false, "emit the Figure 3 CSV series instead of Table I")
+		live      = flag.Bool("live", false, "measure max performance with a live HTTP benchmark")
+		rateScale = flag.Float64("rate-scale", 0.1, "emulated service-rate scale for -live runs")
+		noise     = flag.Float64("noise", 0, "relative wattmeter noise (e.g. 0.015 for 1.5%)")
+		seed      = flag.Int64("seed", 1, "measurement noise seed")
+		duration  = flag.Duration("duration", 2*time.Second, "per-probe benchmark duration for -live")
+		repeats   = flag.Int("repeats", 3, "averaged benchmark repeats for -live")
+		points    = flag.Int("points", 200, "sample points for -series")
+	)
+	flag.Parse()
+
+	catalog := profile.PaperMachines()
+
+	if *series {
+		maxRate := 0.0
+		for _, a := range catalog {
+			if a.MaxPerf > maxRate {
+				maxRate = a.MaxPerf
+			}
+		}
+		if err := report.ProfileSeries(os.Stdout, catalog, maxRate, *points); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	cfg := profiler.Config{
+		RateScale:     *rateScale,
+		BenchDuration: *duration,
+		BenchRepeats:  *repeats,
+		MeterNoise:    *noise,
+		MeterSeed:     *seed,
+		SkipLiveBench: !*live,
+	}
+	ctx := context.Background()
+	measured, err := profiler.ProfileAll(ctx, catalog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Table I: measured architecture profiles ==")
+	if err := report.TableI(os.Stdout, measured); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("== deviation from emulation ground truth ==")
+	for i, m := range measured {
+		fmt.Printf("%-12s worst relative deviation: %.3f%%\n",
+			m.Name, profiler.Compare(m, catalog[i])*100)
+	}
+}

@@ -1,0 +1,146 @@
+// Command bmlserve runs a live miniature BML web farm on localhost: real
+// HTTP instances of the stateless application (rate-limited to emulate the
+// paper's heterogeneous machines), a weighted load balancer front end, and
+// a controller that periodically measures the observed request rate and
+// reconfigures the farm to the ideal BML combination.
+//
+// Service rates are scaled down (default 2% of hardware scale) so the whole
+// data center fits on a laptop: an emulated Paravance serves ~27 req/s.
+//
+// Usage:
+//
+//	bmlserve -addr :8080                 # serve until interrupted
+//	bmlserve -selftest                   # drive a ramp load, then exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/bml"
+	"repro/internal/loadgen"
+	"repro/internal/profile"
+	"repro/internal/webapp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bmlserve: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "load balancer listen address")
+		rateScale = flag.Float64("rate-scale", 0.02, "emulated service-rate scale")
+		interval  = flag.Duration("interval", 2*time.Second, "controller decision interval")
+		headroom  = flag.Float64("headroom", 1.2, "capacity headroom over the observed rate")
+		selftest  = flag.Bool("selftest", false, "drive a ramp load against the farm and exit")
+	)
+	flag.Parse()
+
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		log.Fatal(err)
+	}
+	farm, err := webapp.NewFarm(planner.Candidates(), webapp.InstanceConfig{
+		RateScale: *rateScale,
+		Seed:      time.Now().UnixNano(),
+		Patience:  2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = farm.Close(closeCtx)
+	}()
+
+	// Start with one Little instance so the farm serves immediately.
+	little := planner.Little()
+	if err := farm.Reconfigure(ctx, map[string]int{little.Name: 1}); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: farm.LoadBalancer()}
+	go func() {
+		log.Printf("load balancer listening on http://%s/", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+			stop()
+		}
+	}()
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	table := planner.Table(planner.Big().MaxPerf * 4)
+
+	if *selftest {
+		go runSelfTest(ctx, "http://"+*addr+"/", stop)
+	}
+
+	// Controller: observed rate → headroom → ideal combination →
+	// reconfigure. The live farm uses a reactive last-value predictor
+	// because real deployments cannot look ahead into a trace file.
+	prevServed := totalServed(farm)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			log.Printf("shutting down")
+			return
+		case <-ticker.C:
+		}
+		cur := totalServed(farm)
+		rate := float64(cur-prevServed) / interval.Seconds()
+		prevServed = cur
+		// Convert the observed (scaled) rate back to hardware scale for
+		// the combination lookup.
+		hwRate := rate / *rateScale * *headroom
+		target := table.At(hwRate).Counts()
+		if err := farm.Reconfigure(ctx, target); err != nil {
+			log.Printf("reconfigure: %v", err)
+			continue
+		}
+		log.Printf("observed %.1f req/s (hw-scale %.0f) → %v  capacity %.1f req/s",
+			rate, hwRate, target, farm.Capacity())
+	}
+}
+
+func totalServed(farm *webapp.Farm) uint64 {
+	var sum uint64
+	for _, n := range farm.LoadBalancer().ServedCounts() {
+		sum += n
+	}
+	return sum
+}
+
+// runSelfTest ramps concurrency up and back down against the farm, then
+// stops the process.
+func runSelfTest(ctx context.Context, url string, stop func()) {
+	defer stop()
+	time.Sleep(2 * time.Second) // let the first instance come up
+	for _, conc := range []int{1, 4, 8, 4, 1} {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		res, err := loadgen.Run(ctx, url, conc, 6*time.Second)
+		if err != nil {
+			log.Printf("selftest: %v", err)
+			return
+		}
+		fmt.Printf("selftest: concurrency %d → %.1f req/s (%d ok, %d failed)\n",
+			conc, res.Rate, res.Completed, res.Failed)
+	}
+}

@@ -1,0 +1,180 @@
+// Command bmlsim runs the paper's §V-C evaluation: the four scenarios
+// (UpperBound Global, UpperBound PerDay, Big-Medium-Little, LowerBound
+// Theoretical) over a World Cup–shaped trace, printing the Figure 5 daily
+// energy comparison and the BML-versus-lower-bound overhead summary.
+//
+// Usage:
+//
+//	bmlsim                         # full 92-day evaluation (days 6–92)
+//	bmlsim -days 10 -first 2       # shorter run
+//	bmlsim -csv > fig5.csv         # machine-readable series
+//	bmlsim -trace trace.txt        # replay a saved trace file
+//	bmlsim -predictor ewma -error 0.2   # prediction ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wc98"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bmlsim: ")
+	var (
+		days      = flag.Int("days", 92, "days to generate when no trace file is given")
+		first     = flag.Int("first", 0, "first evaluated day (default: paper's day 6)")
+		last      = flag.Int("last", 0, "last evaluated day (default: paper's day 92)")
+		peak      = flag.Float64("peak", 5000, "generated trace peak rate")
+		seed      = flag.Int64("seed", 1998, "generator seed")
+		traceFile = flag.String("trace", "", "replay this trace file instead of generating")
+		csv       = flag.Bool("csv", false, "emit the Figure 5 CSV instead of the table")
+		headroom  = flag.Float64("headroom", 1, "prediction headroom factor (≥ 1)")
+		windowF   = flag.Float64("window-factor", 2, "look-ahead window as a multiple of the longest boot")
+		predName  = flag.String("predictor", "lookahead", "predictor: lookahead | oracle | lastvalue | ewma | pattern")
+		ewmaAlpha = flag.Float64("ewma-alpha", 0.1, "EWMA smoothing factor for -predictor ewma")
+		errLevel  = flag.Float64("error", 0, "injected relative prediction error (paper's future work)")
+		overhead  = flag.Bool("overhead-aware", false, "skip reconfigurations that cannot amortize their switching energy (future work)")
+		amortize  = flag.Float64("amortize", 0, "amortization horizon in seconds for -overhead-aware (0 = 378)")
+		critical  = flag.Bool("critical", false, "treat the application as QoS-critical (20% capacity headroom)")
+		chart     = flag.Bool("chart", false, "render the Figure 5 series as an ASCII chart")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	} else {
+		cfg := trace.DefaultWorldCupConfig()
+		cfg.Days = *days
+		cfg.PeakRate = *peak
+		cfg.Seed = *seed
+		tr, err = trace.GenerateWorldCup(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bmlCfg := sim.BMLConfig{
+		Headroom:        *headroom,
+		WindowFactor:    *windowF,
+		OverheadAware:   *overhead,
+		AmortizeSeconds: *amortize,
+	}
+	if *critical {
+		spec := app.StatelessWebServer()
+		spec.Class = app.Critical
+		bmlCfg.App = &spec
+		if *headroom == 1 {
+			bmlCfg.Headroom = 0 // let the class default apply
+		}
+	}
+	if p := buildPredictor(tr, *predName, *ewmaAlpha, *windowF); p != nil {
+		bmlCfg.Predictor = p
+	}
+	if *errLevel > 0 {
+		inner := bmlCfg.Predictor
+		if inner == nil {
+			inner = mustLookahead(tr, *windowF)
+		}
+		wrapped, werr := predict.NewErrorInjector(inner, *errLevel, *seed)
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		bmlCfg.Predictor = wrapped
+	}
+
+	ev, err := wc98.Run(tr, profile.PaperMachines(), wc98.Config{
+		FirstDay: *first, LastDay: *last, BML: bmlCfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csv {
+		if err := reportCSV(ev); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *chart {
+		if err := reportChart(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := reportTable(ev); err != nil {
+		log.Fatal(err)
+	}
+	bres := ev.Results["Big-Medium-Little"]
+	fmt.Printf("scheduler: %d decisions, %d switch-ons, %d switch-offs, availability %.4f%%\n",
+		bres.Decisions, bres.SwitchOns, bres.SwitchOffs, bres.QoS.Availability()*100)
+	if bres.Skipped > 0 {
+		fmt.Printf("overhead-aware policy skipped %d reconfigurations\n", bres.Skipped)
+	}
+	if bres.MigrationEnergy > 0 {
+		fmt.Printf("application migration overhead: %v\n", bres.MigrationEnergy)
+	}
+	fmt.Printf("BML energy breakdown: %v\n", bres.Breakdown)
+	if ub := ev.Results["UpperBound Global"]; ub != nil {
+		fmt.Printf("UB Global idle share %.1f%% vs BML idle share %.1f%% — the static cost the paper's design removes\n",
+			ub.Breakdown.IdleShare()*100, bres.Breakdown.IdleShare()*100)
+	}
+}
+
+// buildPredictor returns nil for the default look-ahead-max predictor.
+func buildPredictor(tr *trace.Trace, name string, alpha, windowF float64) predict.Predictor {
+	switch name {
+	case "lookahead", "":
+		return nil
+	case "oracle":
+		return predict.NewOracle(tr)
+	case "lastvalue":
+		return predict.NewLastValue(tr)
+	case "ewma":
+		p, err := predict.NewEWMA(tr, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	case "pattern":
+		w := int(189 * windowF)
+		if w < 1 {
+			w = 1
+		}
+		p, err := predict.NewDailyPattern(tr, w, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	default:
+		log.Fatalf("unknown predictor %q", name)
+		return nil
+	}
+}
+
+func mustLookahead(tr *trace.Trace, windowF float64) predict.Predictor {
+	// Window sized from the paper machines' longest boot (Paravance 189 s).
+	w := int(189 * windowF)
+	if w < 1 {
+		w = 1
+	}
+	p, err := predict.NewLookaheadMax(tr, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/wc98"
+)
+
+func reportTable(ev *wc98.Evaluation) error {
+	return report.Fig5Table(os.Stdout, ev)
+}
+
+func reportCSV(ev *wc98.Evaluation) error {
+	return report.Fig5CSV(os.Stdout, ev)
+}
+
+// reportChart renders the four scenarios' daily energies as an ASCII chart.
+func reportChart(ev *wc98.Evaluation) error {
+	series := make([]report.Series, 4)
+	names := []struct {
+		label string
+		pick  func(wc98.Row) float64
+	}{
+		{"UB-Global", func(r wc98.Row) float64 { return r.UBGlobal.KilowattHours() }},
+		{"UB-PerDay", func(r wc98.Row) float64 { return r.UBPerDay.KilowattHours() }},
+		{"BML", func(r wc98.Row) float64 { return r.BML.KilowattHours() }},
+		{"LowerBound", func(r wc98.Row) float64 { return r.LowerBound.KilowattHours() }},
+	}
+	for i, n := range names {
+		vals := make([]float64, len(ev.Rows))
+		for j, row := range ev.Rows {
+			vals[j] = n.pick(row)
+		}
+		series[i] = report.Series{Name: n.label, Values: vals}
+	}
+	return report.ASCIIChart(os.Stdout, "Figure 5: daily energy (kWh)", series, 87, 16)
+}

@@ -1,0 +1,113 @@
+// Command bmltrace generates and inspects the World Cup–shaped load traces
+// the Figure 5 evaluation replays.
+//
+// Usage:
+//
+//	bmltrace -days 92 -out trace.txt      # generate and save
+//	bmltrace -days 10                     # generate, print summary
+//	bmltrace -stats -in trace.txt         # summarize an existing file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bmltrace: ")
+	var (
+		days    = flag.Int("days", 92, "number of days to generate")
+		peak    = flag.Float64("peak", 5000, "global peak rate (requests/s)")
+		seed    = flag.Int64("seed", 1998, "generator seed")
+		noise   = flag.Float64("noise", 0.13, "relative per-second noise")
+		burst   = flag.Float64("burst", 1, "flash-crowd intensity (0 disables)")
+		out     = flag.String("out", "", "write the trace to this file")
+		in      = flag.String("in", "", "read a trace file instead of generating")
+		fromLog = flag.String("from-log", "", "convert a Common Log Format access log into a trace")
+		stats   = flag.Bool("stats", false, "print per-day peak statistics")
+		chart   = flag.Bool("chart", false, "render daily peaks as an ASCII chart")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *fromLog != "":
+		f, ferr := os.Open(*fromLog)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		var skipped int
+		tr, skipped, err = trace.FromAccessLog(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if skipped > 0 {
+			fmt.Printf("skipped %d unparsable log lines\n", skipped)
+		}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		cfg := trace.WorldCupConfig{
+			Days: *days, PeakRate: *peak, Seed: *seed, Noise: *noise,
+			BurstLevel: *burst, DisableBursts: *burst == 0,
+		}
+		tr, err = trace.GenerateWorldCup(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := tr.Summary()
+	fmt.Printf("samples: %d (%d complete days)\n", s.Samples, tr.Days())
+	fmt.Printf("max: %.1f req/s  mean: %.1f  p50: %.1f  p95: %.1f  p99: %.1f\n",
+		s.Max, s.Mean, s.P50, s.P95, s.P99)
+
+	if *stats {
+		fmt.Println("day  peak_req/s")
+		for i, p := range tr.DailyPeaks() {
+			fmt.Printf("%3d  %.1f\n", i+1, p)
+		}
+	}
+
+	if *chart {
+		peaks := tr.DailyPeaks()
+		if len(peaks) == 0 {
+			peaks = []float64{tr.Max()}
+		}
+		if err := report.ASCIIChart(os.Stdout, "daily peak load (req/s)",
+			[]report.Series{{Name: "peak", Values: peaks}}, 87, 14); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,144 @@
+package repro_test
+
+// Command-level integration tests: each cmd binary is compiled once and
+// executed with fast flags, asserting the documented output appears. These
+// are the same invocations EXPERIMENTS.md lists.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the command binaries into a shared temp dir once.
+var builtCmds struct {
+	dir string
+	err error
+}
+
+func cmdBinary(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("cmd integration test")
+	}
+	if builtCmds.dir == "" && builtCmds.err == nil {
+		dir, err := os.MkdirTemp("", "bmlcmds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			builtCmds.err = err
+			t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+		}
+		builtCmds.dir = dir
+	}
+	if builtCmds.err != nil {
+		t.Fatalf("cmd build previously failed: %v", builtCmds.err)
+	}
+	return filepath.Join(builtCmds.dir, name)
+}
+
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(cmdBinary(t, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdBMLPlan(t *testing.T) {
+	out := runCmd(t, "bmlplan", "-crossings", "-table", "-metrics")
+	for _, want := range []string{
+		"step 2 removed taurus",
+		"step 3 removed graphene",
+		"529",
+		"IPR=0.000", // BML combination idles at zero
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bmlplan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdBMLPlanIllustrativeAndFig4(t *testing.T) {
+	out := runCmd(t, "bmlplan", "-illustrative", "-crossings")
+	if !strings.Contains(out, "step 2 removed D") {
+		t.Errorf("illustrative filtering missing:\n%s", out)
+	}
+	csv := runCmd(t, "bmlplan", "-fig4", "-points", "10")
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "rate,bml_W,big_W,bml_linear_W" || len(lines) != 12 {
+		t.Errorf("fig4 CSV malformed:\n%s", csv)
+	}
+}
+
+func TestCmdBMLProfile(t *testing.T) {
+	out := runCmd(t, "bmlprofile", "-noise", "0.015")
+	if !strings.Contains(out, "paravance") || !strings.Contains(out, "worst relative deviation") {
+		t.Errorf("bmlprofile output incomplete:\n%s", out)
+	}
+	series := runCmd(t, "bmlprofile", "-series", "-points", "5")
+	if !strings.HasPrefix(series, "rate,paravance_W") {
+		t.Errorf("fig3 series header wrong:\n%s", series)
+	}
+}
+
+func TestCmdBMLTraceGenerateAndReload(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "t.txt")
+	out := runCmd(t, "bmltrace", "-days", "1", "-out", file)
+	if !strings.Contains(out, "86400") {
+		t.Errorf("bmltrace output missing sample count:\n%s", out)
+	}
+	back := runCmd(t, "bmltrace", "-in", file, "-stats")
+	if !strings.Contains(back, "day  peak_req/s") {
+		t.Errorf("stats output missing:\n%s", back)
+	}
+}
+
+func TestCmdBMLTraceFromLog(t *testing.T) {
+	dir := t.TempDir()
+	logFile := filepath.Join(dir, "access.log")
+	var sb strings.Builder
+	sb.WriteString("garbage\n")
+	for i := 0; i < 10; i++ {
+		sb.WriteString(`h - - [01/Jul/1998:12:00:0` + string(rune('0'+i%10)) + ` +0000] "GET / HTTP/1.0" 200 1` + "\n")
+	}
+	if err := os.WriteFile(logFile, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "bmltrace", "-from-log", logFile)
+	if !strings.Contains(out, "skipped 1 unparsable") {
+		t.Errorf("skip report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "samples: 10") {
+		t.Errorf("sample count wrong:\n%s", out)
+	}
+}
+
+func TestCmdBMLSim(t *testing.T) {
+	out := runCmd(t, "bmlsim", "-days", "2", "-first", "1", "-last", "2")
+	for _, want := range []string{"BML_kWh", "mean +", "scheduler:", "BML energy breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bmlsim output missing %q:\n%s", want, out)
+		}
+	}
+	csv := runCmd(t, "bmlsim", "-days", "2", "-first", "1", "-last", "2", "-csv")
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "day,") {
+		t.Errorf("bmlsim CSV malformed:\n%s", csv)
+	}
+}
+
+func TestCmdBMLSimAblationFlags(t *testing.T) {
+	out := runCmd(t, "bmlsim", "-days", "2", "-first", "1", "-last", "2",
+		"-overhead-aware", "-predictor", "pattern", "-critical")
+	if !strings.Contains(out, "skipped") {
+		t.Errorf("overhead-aware summary missing:\n%s", out)
+	}
+}

@@ -1,0 +1,79 @@
+// Planner explores a what-if hardware catalog: the paper's illustrative
+// architectures A–D (Figures 1 and 2). It shows how Step 2 discards the
+// dominated architecture D, how the Step 3 crossing for Big lands exactly
+// at Medium's maximum performance (the non-optimal jump), and how Step 4's
+// mixed-combination comparison pushes that threshold higher — plus what
+// happens when the data center has a limited machine inventory.
+//
+// Run with: go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+)
+
+func main() {
+	log.SetFlags(0)
+	catalog := profile.Illustrative()
+
+	fmt.Println("catalog:")
+	for _, a := range catalog {
+		fmt.Printf("  %s\n", a)
+	}
+
+	// Steps 2–3 with an audit trail.
+	cands, removed, err := bml.SelectCandidates(catalog, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfiltering:")
+	for _, r := range removed {
+		fmt.Printf("  %s\n", r)
+	}
+	roles := bml.RoleNames(cands)
+
+	// Step 3 vs Step 4 thresholds.
+	step3, err := bml.ComputeThresholds(cands, bml.Homogeneous, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	step4, err := bml.ComputeThresholds(cands, bml.Combinations, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthresholds (step 3 homogeneous → step 4 combinations):")
+	for i := range step3 {
+		name := step3[i].Arch.Name
+		fmt.Printf("  %-7s %-3s %4.0f → %4.0f\n", roles[name], name, step3[i].Rate, step4[i].Rate)
+	}
+
+	planner, err := bml.NewPlanner(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nideal combinations (unlimited inventory):")
+	for _, rate := range []float64{20, 149, 150, 420, 421, 1000, 1500} {
+		fmt.Printf("  %5.0f req/s → %s\n", rate, planner.Combination(rate))
+	}
+
+	// §IV-A's limited-inventory variant: only 1×A, 2×B, 10×C exist.
+	limited, err := bml.NewPlanner(catalog, bml.WithInventory(map[string]int{
+		"A": 1, "B": 2, "C": 10,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlimited inventory (1×A, 2×B, 10×C; max %.0f req/s):\n", limited.MaxRate())
+	for _, rate := range []float64{1000, 1500, 1800, 2000} {
+		c := limited.Combination(rate)
+		suffix := ""
+		if c.Infeasible > 0 {
+			suffix = fmt.Sprintf("  ← %.0f req/s UNSERVABLE", c.Infeasible)
+		}
+		fmt.Printf("  %5.0f req/s → %s%s\n", rate, c, suffix)
+	}
+}

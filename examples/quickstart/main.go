@@ -1,0 +1,76 @@
+// Quickstart: build a BML plan from the paper's machine catalog, inspect
+// the candidate filtering and thresholds, then simulate one synthetic day
+// and compare the scheduler's energy against the theoretical bounds.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Plan: Steps 2–5 of the methodology on the Table I machines.
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidate classes after filtering:")
+	for _, c := range planner.Candidates() {
+		fmt.Printf("  %-7s %s\n", planner.Role(c.Name), c)
+	}
+	fmt.Println("\nminimum utilization thresholds:")
+	for _, th := range planner.Thresholds() {
+		fmt.Printf("  %s\n", th)
+	}
+
+	// 2. Query ideal combinations for a few target rates.
+	fmt.Println("\nideal combinations:")
+	for _, rate := range []float64{5, 40, 529, 2000} {
+		fmt.Printf("  %6.0f req/s → %s\n", rate, planner.Combination(rate))
+	}
+
+	// 3. Simulate one diurnal day and compare against the bounds.
+	day := make([]float64, trace.SecondsPerDay)
+	for i := range day {
+		tod := float64(i) / trace.SecondsPerDay
+		day[i] = 4000 * (0.5 - 0.5*math.Cos(2*math.Pi*tod))
+	}
+	tr, err := trace.New(day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bmlRes, err := sim.RunBML(tr, planner, sim.BMLConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lower, err := sim.RunLowerBound(tr, planner.Candidates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	upper, err := sim.RunUpperBoundGlobal(tr, planner.Big())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\none simulated day (diurnal load, peak 4000 req/s):")
+	fmt.Printf("  over-provisioned (4 Big always on): %7.2f kWh\n", upper.TotalEnergy.KilowattHours())
+	fmt.Printf("  BML scheduler:                      %7.2f kWh  (%d reconfigurations)\n",
+		bmlRes.TotalEnergy.KilowattHours(), bmlRes.Decisions)
+	fmt.Printf("  theoretical lower bound:            %7.2f kWh\n", lower.TotalEnergy.KilowattHours())
+	fmt.Printf("  BML overhead vs lower bound:        %+6.1f%%\n",
+		(float64(bmlRes.TotalEnergy)/float64(lower.TotalEnergy)-1)*100)
+	fmt.Printf("  BML savings vs over-provisioning:   %6.1f%%\n",
+		(1-float64(bmlRes.TotalEnergy)/float64(upper.TotalEnergy))*100)
+	fmt.Printf("  availability:                       %7.4f%%\n", bmlRes.QoS.Availability()*100)
+}

@@ -1,0 +1,173 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+)
+
+func TestCriticalityStringsAndHeadroom(t *testing.T) {
+	cases := []struct {
+		c        Criticality
+		name     string
+		headroom float64
+	}{
+		{Tolerant, "tolerant", 1.0},
+		{Intermediate, "intermediate", 1.1},
+		{Critical, "critical", 1.2},
+	}
+	for _, c := range cases {
+		if c.c.String() != c.name {
+			t.Errorf("String = %q, want %q", c.c.String(), c.name)
+		}
+		if c.c.DefaultHeadroom() != c.headroom {
+			t.Errorf("%s headroom = %v, want %v", c.name, c.c.DefaultHeadroom(), c.headroom)
+		}
+	}
+	if Criticality(9).String() == "" {
+		t.Error("unknown class renders empty")
+	}
+}
+
+func TestLoadKnowledgeStrings(t *testing.T) {
+	for k, want := range map[LoadKnowledge]string{
+		UnknownLoad: "unknown", PartialLoad: "partial", PerfectLoad: "perfect",
+	} {
+		if k.String() != want {
+			t.Errorf("String = %q, want %q", k.String(), want)
+		}
+	}
+	if LoadKnowledge(9).String() == "" {
+		t.Error("unknown knowledge renders empty")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := StatelessWebServer()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper's application rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"negative min instances", func(s *Spec) { s.Malleability.MinInstances = -1 }},
+		{"max below min", func(s *Spec) { s.Malleability = Malleability{MinInstances: 5, MaxInstances: 2} }},
+		{"negative migration duration", func(s *Spec) { s.Migration.Duration = -time.Second }},
+		{"negative migration energy", func(s *Spec) { s.Migration.Energy = -1 }},
+		{"immobile with costs", func(s *Spec) { s.Migration = Migration{Migratable: false, Energy: 5} }},
+		{"headroom below one", func(s *Spec) { s.Headroom = 0.5 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := StatelessWebServer()
+			c.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestMaxZeroMeansUnbounded(t *testing.T) {
+	s := StatelessWebServer()
+	s.Malleability = Malleability{MinInstances: 3, MaxInstances: 0}
+	if err := s.Validate(); err != nil {
+		t.Errorf("unbounded max rejected: %v", err)
+	}
+}
+
+func TestEffectiveHeadroom(t *testing.T) {
+	s := StatelessWebServer()
+	if s.EffectiveHeadroom() != 1.0 {
+		t.Errorf("tolerant default = %v", s.EffectiveHeadroom())
+	}
+	s.Class = Critical
+	if s.EffectiveHeadroom() != 1.2 {
+		t.Errorf("critical default = %v", s.EffectiveHeadroom())
+	}
+	s.Headroom = 1.5
+	if s.EffectiveHeadroom() != 1.5 {
+		t.Errorf("explicit headroom not honored: %v", s.EffectiveHeadroom())
+	}
+}
+
+func paperCombos(t *testing.T) (small, large bml.Combination) {
+	t.Helper()
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return planner.Combination(9), planner.Combination(1431)
+}
+
+func TestCheckCombination(t *testing.T) {
+	small, large := paperCombos(t) // 1 node vs 5 nodes
+	s := StatelessWebServer()
+	if err := s.CheckCombination(small); err != nil {
+		t.Errorf("unbounded spec rejected combination: %v", err)
+	}
+	s.Malleability = Malleability{MinInstances: 2}
+	if err := s.CheckCombination(small); err == nil {
+		t.Error("below-minimum combination accepted")
+	}
+	if err := s.CheckCombination(large); err != nil {
+		t.Errorf("5-node combination rejected with min 2: %v", err)
+	}
+	s.Malleability = Malleability{MaxInstances: 3}
+	if err := s.CheckCombination(large); err == nil {
+		t.Error("above-maximum combination accepted")
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	small, large := paperCombos(t)
+	s := StatelessWebServer() // 1 s, 5 J per displaced instance
+
+	// Growing the fleet displaces nothing.
+	d, e, err := s.MigrationCost(small, large)
+	if err != nil || d != 0 || e != 0 {
+		t.Errorf("grow cost = %v/%v/%v, want zero", d, e, err)
+	}
+	// Shrinking from 5 nodes (1 paravance + 3 chromebooks + 1 raspberry)
+	// to 1 raspberry displaces 4 instances... paravance and chromebooks
+	// retire; the raspberry slot persists.
+	d, e, err = s.MigrationCost(large, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != time.Second {
+		t.Errorf("migration duration = %v, want parallel 1 s", d)
+	}
+	if float64(e) != 4*5 {
+		t.Errorf("migration energy = %v, want 20 J for 4 displaced instances", e)
+	}
+}
+
+func TestMigrationCostNonMigratable(t *testing.T) {
+	small, large := paperCombos(t)
+	s := Spec{Name: "pinned", Migration: Migration{Migratable: false}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MigrationCost(large, small); err == nil {
+		t.Error("retiring nodes of a non-migratable app accepted")
+	}
+	// No displacement → fine even for pinned apps.
+	if _, _, err := s.MigrationCost(small, large); err != nil {
+		t.Errorf("pure growth rejected: %v", err)
+	}
+}
+
+func TestStatelessWebServerShape(t *testing.T) {
+	s := StatelessWebServer()
+	if s.Class != Tolerant || s.Knowledge != PartialLoad || !s.Migration.Migratable {
+		t.Errorf("paper application mischaracterized: %+v", s)
+	}
+	if s.Malleability.MinInstances != 0 || s.Malleability.MaxInstances != 0 {
+		t.Errorf("stateless web server must be fully malleable: %+v", s.Malleability)
+	}
+}

@@ -1,0 +1,246 @@
+package bml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/profile"
+)
+
+// Combination is a machine multiset serving a target performance rate: for
+// each architecture a number of fully loaded nodes, plus at most one
+// partially loaded node carrying the remainder. This is the object the
+// final step of the methodology produces and the scheduler reconfigures
+// between.
+type Combination struct {
+	// Slots lists per-architecture node usage in Big→Little order. An
+	// architecture with zero nodes still appears with Full == 0 so that
+	// diffs between combinations are positionally stable.
+	Slots []Slot
+	// Infeasible is the residual rate (in metric units) that could not be
+	// covered, which only happens when no architecture small enough exists
+	// for the remainder grid. Zero in all normal operation.
+	Infeasible float64
+}
+
+// Slot is the usage of one architecture within a combination.
+type Slot struct {
+	Arch profile.Arch
+	// Full is the number of fully loaded nodes (each serving Arch.MaxPerf).
+	Full int
+	// PartialLoad is the rate carried by one extra partially loaded node;
+	// zero means no partial node of this architecture.
+	PartialLoad float64
+}
+
+// Nodes returns the total node count of the slot.
+func (s Slot) Nodes() int {
+	if s.PartialLoad > 0 {
+		return s.Full + 1
+	}
+	return s.Full
+}
+
+// Power returns the slot's draw: full nodes at MaxPower, the partial node
+// on the linear model.
+func (s Slot) Power() power.Watts {
+	p := power.Watts(float64(s.Full)) * s.Arch.MaxPower
+	if s.PartialLoad > 0 {
+		p += s.Arch.PowerAt(s.PartialLoad)
+	}
+	return p
+}
+
+// Rate returns the performance rate the slot serves.
+func (s Slot) Rate() float64 {
+	return float64(s.Full)*s.Arch.MaxPerf + s.PartialLoad
+}
+
+func newCombination(order []profile.Arch) Combination {
+	slots := make([]Slot, len(order))
+	for i, a := range order {
+		slots[i] = Slot{Arch: a}
+	}
+	return Combination{Slots: slots}
+}
+
+func (c *Combination) slotFor(a profile.Arch) *Slot {
+	for i := range c.Slots {
+		if c.Slots[i].Arch.Name == a.Name {
+			return &c.Slots[i]
+		}
+	}
+	c.Slots = append(c.Slots, Slot{Arch: a})
+	return &c.Slots[len(c.Slots)-1]
+}
+
+func (c *Combination) addFull(a profile.Arch, n int) { c.slotFor(a).Full += n }
+
+func (c *Combination) addPartial(a profile.Arch, load float64) {
+	s := c.slotFor(a)
+	// Merge: a second partial request for the same arch consolidates into
+	// full nodes plus one partial, preserving the <=1-partial invariant.
+	total := s.PartialLoad + load
+	extraFull := int(total / a.MaxPerf)
+	if rem := total - float64(extraFull)*a.MaxPerf; rem > 1e-9 {
+		s.PartialLoad = rem
+	} else {
+		s.PartialLoad = 0
+	}
+	s.Full += extraFull
+}
+
+// Power returns the combination's total draw.
+func (c Combination) Power() power.Watts {
+	var p power.Watts
+	for _, s := range c.Slots {
+		p += s.Power()
+	}
+	return p
+}
+
+// Rate returns the performance rate the combination serves.
+func (c Combination) Rate() float64 {
+	var r float64
+	for _, s := range c.Slots {
+		r += s.Rate()
+	}
+	return r
+}
+
+// Capacity returns the maximum rate the combination's nodes could sustain
+// if all were fully loaded.
+func (c Combination) Capacity() float64 {
+	var cap float64
+	for _, s := range c.Slots {
+		cap += float64(s.Nodes()) * s.Arch.MaxPerf
+	}
+	return cap
+}
+
+// TotalNodes returns the total machine count.
+func (c Combination) TotalNodes() int {
+	var n int
+	for _, s := range c.Slots {
+		n += s.Nodes()
+	}
+	return n
+}
+
+// Counts returns node counts keyed by architecture name.
+func (c Combination) Counts() map[string]int {
+	m := make(map[string]int, len(c.Slots))
+	for _, s := range c.Slots {
+		if n := s.Nodes(); n > 0 {
+			m[s.Arch.Name] = n
+		}
+	}
+	return m
+}
+
+// SameNodes reports whether two combinations use the same node counts per
+// architecture (ignoring how load is split). This is the test the scheduler
+// applies to decide whether a prediction implies a reconfiguration.
+func (c Combination) SameNodes(o Combination) bool {
+	a, b := c.Counts(), o.Counts()
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeDelta describes, for one architecture, how many nodes to switch on
+// (positive) or off (negative) to turn combination "from" into "to".
+type NodeDelta struct {
+	Arch  profile.Arch
+	Delta int
+}
+
+// Diff computes the per-architecture node deltas from c to target. The
+// result is ordered Big→Little following c's slot order, with architectures
+// only present in target appended.
+func (c Combination) Diff(target Combination) []NodeDelta {
+	fromCounts := c.Counts()
+	toCounts := target.Counts()
+	seen := make(map[string]bool)
+	var out []NodeDelta
+	appendDelta := func(a profile.Arch) {
+		if seen[a.Name] {
+			return
+		}
+		seen[a.Name] = true
+		d := toCounts[a.Name] - fromCounts[a.Name]
+		if d != 0 {
+			out = append(out, NodeDelta{Arch: a, Delta: d})
+		}
+	}
+	for _, s := range c.Slots {
+		appendDelta(s.Arch)
+	}
+	for _, s := range target.Slots {
+		appendDelta(s.Arch)
+	}
+	return out
+}
+
+// ReconfigurationCost returns the total switching time and energy to go
+// from c to target: each node switched on pays its architecture's
+// OnDuration/OnEnergy, each switched off its OffDuration/OffEnergy. The
+// duration is the maximum across architectures (switches proceed in
+// parallel per the paper's model); energy is the sum.
+func (c Combination) ReconfigurationCost(target Combination) (durSeconds float64, energy power.Joules) {
+	for _, d := range c.Diff(target) {
+		n := d.Delta
+		if n > 0 {
+			durSeconds = math.Max(durSeconds, d.Arch.OnDuration.Seconds())
+			energy += power.Joules(float64(n)) * d.Arch.OnEnergy
+		} else {
+			durSeconds = math.Max(durSeconds, d.Arch.OffDuration.Seconds())
+			energy += power.Joules(float64(-n)) * d.Arch.OffEnergy
+		}
+	}
+	return durSeconds, energy
+}
+
+// String renders the combination compactly, e.g.
+// "1×paravance(full) + 1×chromebook@12.0 [208.1 W]".
+func (c Combination) String() string {
+	var parts []string
+	for _, s := range c.Slots {
+		if s.Full > 0 {
+			parts = append(parts, fmt.Sprintf("%d×%s(full)", s.Full, s.Arch.Name))
+		}
+		if s.PartialLoad > 0 {
+			parts = append(parts, fmt.Sprintf("1×%s@%.1f", s.Arch.Name, s.PartialLoad))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "∅")
+	}
+	str := strings.Join(parts, " + ")
+	if c.Infeasible > 0 {
+		str += fmt.Sprintf(" (infeasible remainder %.1f)", c.Infeasible)
+	}
+	return fmt.Sprintf("%s [%.1f W]", str, float64(c.Power()))
+}
+
+// Normalize returns a copy with slots sorted Big→Little and zero slots
+// retained, making combinations comparable field-by-field in tests.
+func (c Combination) Normalize() Combination {
+	out := Combination{Slots: append([]Slot(nil), c.Slots...), Infeasible: c.Infeasible}
+	sort.Slice(out.Slots, func(i, j int) bool {
+		if out.Slots[i].Arch.MaxPerf != out.Slots[j].Arch.MaxPerf {
+			return out.Slots[i].Arch.MaxPerf > out.Slots[j].Arch.MaxPerf
+		}
+		return out.Slots[i].Arch.Name < out.Slots[j].Arch.Name
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package bml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/profile"
+)
+
+// ThresholdMode selects which baseline the crossing-point search compares an
+// architecture against.
+type ThresholdMode int
+
+const (
+	// Homogeneous is Step 3: each class is compared against homogeneous
+	// fleets of the next smaller surviving class.
+	Homogeneous ThresholdMode = iota
+	// Combinations is Step 4: each class is compared against the exact
+	// optimal mixed combination of all smaller surviving classes. This is
+	// the mode the final planner uses.
+	Combinations
+)
+
+func (m ThresholdMode) String() string {
+	switch m {
+	case Homogeneous:
+		return "homogeneous (step 3)"
+	case Combinations:
+		return "combinations (step 4)"
+	default:
+		return fmt.Sprintf("ThresholdMode(%d)", int(m))
+	}
+}
+
+// Threshold is the minimum-utilization threshold of one architecture: the
+// smallest performance rate from which a (partially loaded) node of this
+// class draws no more power than the baseline built from smaller classes.
+type Threshold struct {
+	Arch profile.Arch
+	// Rate is the threshold in application-metric units. The littlest
+	// class always has Rate equal to one grid step ("1" in the paper).
+	Rate float64
+	// Crossed reports whether the threshold comes from an actual profile
+	// crossing. When false the search found no crossing up to the class's
+	// own MaxPerf and Rate defaulted to the next smaller class's MaxPerf —
+	// the non-optimal Step 3 situation the paper illustrates with the
+	// Medium→Big jump in Figure 2 (left).
+	Crossed bool
+}
+
+func (t Threshold) String() string {
+	suffix := ""
+	if !t.Crossed {
+		suffix = " (no crossing; defaulted to next class's max perf)"
+	}
+	return fmt.Sprintf("%s: %.0f%s", t.Arch.Name, t.Rate, suffix)
+}
+
+// ComputeThresholds runs the crossing-point computation of Steps 3/4 on
+// candidates already filtered by SelectCandidates (Big→Little order). step
+// is the rate granularity (1 in the paper). The result is ordered like the
+// input.
+//
+// For the littlest class the threshold is one grid step. For every other
+// class j the search scans rates r = step, 2·step, … up to j's MaxPerf and
+// returns the first r where a single j node at r draws no more than the
+// baseline at r:
+//
+//   - Homogeneous (Step 3): baseline is the homogeneous fleet curve of the
+//     next smaller class (full nodes plus one partial node).
+//   - Combinations (Step 4): baseline is the exact optimal combination of
+//     all smaller classes (ExactSolver).
+//
+// If no crossing exists the threshold defaults to the next smaller class's
+// MaxPerf with Crossed=false, reproducing the paper's Step 3 fallback where
+// "the minimum utilization threshold of Big corresponds to the maximum
+// performance rate of a Medium node".
+func ComputeThresholds(candidates []profile.Arch, mode ThresholdMode, step float64) ([]Threshold, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	if step <= 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+		return nil, fmt.Errorf("bml: invalid rate step %v", step)
+	}
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i].MaxPerf > candidates[i-1].MaxPerf {
+			return nil, fmt.Errorf("bml: candidates not in Big→Little order (%q before %q)",
+				candidates[i-1].Name, candidates[i].Name)
+		}
+	}
+	out := make([]Threshold, len(candidates))
+	// Littlest class: threshold is one grid step.
+	last := len(candidates) - 1
+	out[last] = Threshold{Arch: candidates[last], Rate: step, Crossed: true}
+
+	for j := last - 1; j >= 0; j-- {
+		a := candidates[j]
+		smaller := candidates[j+1:]
+		var baseline func(r float64) float64
+		switch mode {
+		case Homogeneous:
+			next := smaller[0]
+			baseline = func(r float64) float64 { return float64(next.FleetPowerAt(r)) }
+		case Combinations:
+			solver, err := NewExactSolver(smaller, a.MaxPerf, step)
+			if err != nil {
+				return nil, err
+			}
+			baseline = func(r float64) float64 { return float64(solver.PowerAt(r)) }
+		default:
+			return nil, fmt.Errorf("bml: unknown threshold mode %v", mode)
+		}
+		rate, crossed := firstCrossing(a, baseline, step)
+		if !crossed {
+			rate = smaller[0].MaxPerf
+		}
+		out[j] = Threshold{Arch: a, Rate: rate, Crossed: crossed}
+	}
+	return out, nil
+}
+
+// firstCrossing scans the grid for the first rate where a single node of a
+// draws no more than the baseline.
+func firstCrossing(a profile.Arch, baseline func(float64) float64, step float64) (float64, bool) {
+	n := int(math.Ceil(a.MaxPerf/step - 1e-9))
+	for k := 1; k <= n; k++ {
+		r := float64(k) * step
+		if r > a.MaxPerf {
+			r = a.MaxPerf
+		}
+		if float64(a.PowerAt(r)) <= baseline(r)+1e-9 {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// ThresholdMap converts a threshold slice to a name-indexed map.
+func ThresholdMap(ts []Threshold) map[string]float64 {
+	m := make(map[string]float64, len(ts))
+	for _, t := range ts {
+		m[t.Arch.Name] = t.Rate
+	}
+	return m
+}

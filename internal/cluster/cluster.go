@@ -1,0 +1,339 @@
+// Package cluster manages the heterogeneous machine fleet the BML scheduler
+// reconfigures: one pool of machines per architecture, switch-on/switch-off
+// actions toward a target combination, fill-biggest-first load dispatch
+// across powered-on nodes, and aggregate energy accounting.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/profile"
+)
+
+// Cluster is a fleet of machines grouped by architecture. It is not safe
+// for concurrent use; drive it from a single simulation loop.
+type Cluster struct {
+	archs     []profile.Arch // Big→Little
+	byName    map[string]profile.Arch
+	pools     map[string][]*machine.Machine
+	nextID    map[string]int
+	inventory map[string]int // optional per-arch machine limit; absent = unlimited
+	faultProb float64        // probability that a boot fails at completion
+	faultRng  *rand.Rand
+}
+
+// Option customizes cluster construction.
+type Option func(*Cluster)
+
+// WithInventory caps the number of machines that can ever exist per
+// architecture name (the limited-infrastructure variant of §IV-A).
+func WithInventory(limits map[string]int) Option {
+	return func(c *Cluster) {
+		c.inventory = make(map[string]int, len(limits))
+		for k, v := range limits {
+			c.inventory[k] = v
+		}
+	}
+}
+
+// WithBootFaults makes each power-on fail at boot completion with the
+// given probability (deterministic under seed): the machine consumes its
+// whole boot energy and lands back in Off. This is the failure-injection
+// hook used to verify that the scheduler converges despite flaky hardware.
+func WithBootFaults(prob float64, seed int64) Option {
+	return func(c *Cluster) {
+		if prob < 0 {
+			prob = 0
+		}
+		if prob > 1 {
+			prob = 1
+		}
+		c.faultProb = prob
+		c.faultRng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// New creates an empty cluster able to host machines of the given
+// architectures (ordered Big→Little internally).
+func New(archs []profile.Arch, opts ...Option) (*Cluster, error) {
+	if len(archs) == 0 {
+		return nil, errors.New("cluster: no architectures")
+	}
+	c := &Cluster{
+		byName: make(map[string]profile.Arch, len(archs)),
+		pools:  make(map[string][]*machine.Machine, len(archs)),
+		nextID: make(map[string]int, len(archs)),
+	}
+	for _, a := range archs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.byName[a.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate architecture %q", a.Name)
+		}
+		c.byName[a.Name] = a
+		c.archs = append(c.archs, a)
+	}
+	sort.Slice(c.archs, func(i, j int) bool {
+		if c.archs[i].MaxPerf != c.archs[j].MaxPerf {
+			return c.archs[i].MaxPerf > c.archs[j].MaxPerf
+		}
+		return c.archs[i].Name < c.archs[j].Name
+	})
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Architectures returns the hosted architectures in Big→Little order.
+func (c *Cluster) Architectures() []profile.Arch {
+	return append([]profile.Arch(nil), c.archs...)
+}
+
+// activeCount returns the number of machines counting toward the target:
+// On plus Booting (a booting machine has been committed to the target).
+func (c *Cluster) activeCount(arch string) int {
+	n := 0
+	for _, m := range c.pools[arch] {
+		if s := m.State(); s == machine.On || s == machine.Booting {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns the per-architecture active machine counts (On+Booting).
+func (c *Cluster) Counts() map[string]int {
+	out := make(map[string]int, len(c.archs))
+	for _, a := range c.archs {
+		if n := c.activeCount(a.Name); n > 0 {
+			out[a.Name] = n
+		}
+	}
+	return out
+}
+
+// OnCounts returns only fully powered-on machines per architecture.
+func (c *Cluster) OnCounts() map[string]int {
+	out := make(map[string]int, len(c.archs))
+	for _, a := range c.archs {
+		n := 0
+		for _, m := range c.pools[a.Name] {
+			if m.State() == machine.On {
+				n++
+			}
+		}
+		if n > 0 {
+			out[a.Name] = n
+		}
+	}
+	return out
+}
+
+// SetTarget switches machines on or off so the active count per
+// architecture converges to target. Machines currently shutting down are
+// unavailable until they reach Off; if the pool has no reusable Off
+// machine, a new one is provisioned unless the inventory cap forbids it.
+// It returns the number of switch-on and switch-off actions started.
+func (c *Cluster) SetTarget(target map[string]int) (switchedOn, switchedOff int, err error) {
+	for name, want := range target {
+		if _, ok := c.byName[name]; !ok {
+			return switchedOn, switchedOff, fmt.Errorf("cluster: unknown architecture %q", name)
+		}
+		if want < 0 {
+			return switchedOn, switchedOff, fmt.Errorf("cluster: negative target %d for %q", want, name)
+		}
+	}
+	for _, a := range c.archs {
+		want := target[a.Name]
+		have := c.activeCount(a.Name)
+		switch {
+		case have < want:
+			for have < want {
+				m, perr := c.provision(a)
+				if perr != nil {
+					return switchedOn, switchedOff, perr
+				}
+				if c.faultProb > 0 && c.faultRng.Float64() < c.faultProb {
+					m.InjectBootFailure()
+				}
+				if perr := m.PowerOn(); perr != nil {
+					return switchedOn, switchedOff, perr
+				}
+				switchedOn++
+				have++
+			}
+		case have > want:
+			// Switch off On machines first (Booting machines cannot be
+			// aborted in the paper's model: On/Off actions run to
+			// completion). Prefer the least-loaded nodes.
+			on := c.onMachines(a.Name)
+			sort.Slice(on, func(i, j int) bool { return on[i].Load() < on[j].Load() })
+			for _, m := range on {
+				if have <= want {
+					break
+				}
+				if perr := m.PowerOff(); perr != nil {
+					return switchedOn, switchedOff, perr
+				}
+				switchedOff++
+				have--
+			}
+		}
+	}
+	return switchedOn, switchedOff, nil
+}
+
+// provision finds an Off machine to reuse or creates a new one.
+func (c *Cluster) provision(a profile.Arch) (*machine.Machine, error) {
+	for _, m := range c.pools[a.Name] {
+		if m.State() == machine.Off {
+			return m, nil
+		}
+	}
+	if limit, capped := c.inventory[a.Name]; capped && len(c.pools[a.Name]) >= limit {
+		return nil, fmt.Errorf("cluster: inventory of %q exhausted (%d machines)", a.Name, limit)
+	}
+	c.nextID[a.Name]++
+	m, err := machine.New(fmt.Sprintf("%s-%d", a.Name, c.nextID[a.Name]), a)
+	if err != nil {
+		return nil, err
+	}
+	c.pools[a.Name] = append(c.pools[a.Name], m)
+	return m, nil
+}
+
+// onMachines returns the On machines of one architecture.
+func (c *Cluster) onMachines(arch string) []*machine.Machine {
+	var out []*machine.Machine
+	for _, m := range c.pools[arch] {
+		if m.State() == machine.On {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Machines returns every machine in the cluster (all states), Big→Little,
+// then by creation order.
+func (c *Cluster) Machines() []*machine.Machine {
+	var out []*machine.Machine
+	for _, a := range c.archs {
+		out = append(out, c.pools[a.Name]...)
+	}
+	return out
+}
+
+// Capacity returns the total rate the currently On machines can sustain.
+func (c *Cluster) Capacity() float64 {
+	var cap float64
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			if m.State() == machine.On {
+				cap += a.MaxPerf
+			}
+		}
+	}
+	return cap
+}
+
+// Reconfiguring reports whether any machine is mid-transition — the
+// condition under which the paper's scheduler defers all decisions.
+func (c *Cluster) Reconfiguring() bool {
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			if s := m.State(); s == machine.Booting || s == machine.ShuttingDown {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PendingTransition returns the longest remaining transition time across
+// the fleet (zero when idle).
+func (c *Cluster) PendingTransition() float64 {
+	var max float64
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			if r := m.Remaining(); r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// Distribute assigns load across On machines, filling the biggest
+// architectures' nodes completely before touching smaller ones (machines
+// are most energy efficient fully loaded). It returns the rate actually
+// served, which is less than load when capacity is insufficient.
+func (c *Cluster) Distribute(load float64) (served float64, err error) {
+	if load < 0 || math.IsNaN(load) || math.IsInf(load, 0) {
+		return 0, fmt.Errorf("cluster: invalid load %v", load)
+	}
+	remaining := load
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			if m.State() != machine.On {
+				continue
+			}
+			share := math.Min(remaining, a.MaxPerf)
+			if err := m.SetLoad(share); err != nil {
+				return served, err
+			}
+			served += share
+			remaining -= share
+		}
+	}
+	return served, nil
+}
+
+// Tick advances all machines by dt seconds and returns the total energy
+// consumed, including transition energies.
+func (c *Cluster) Tick(dt float64) (power.Joules, error) {
+	if dt < 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return 0, fmt.Errorf("cluster: invalid tick duration %v", dt)
+	}
+	var total power.Joules
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			e, err := m.Tick(dt)
+			if err != nil {
+				return total, err
+			}
+			total += e
+		}
+	}
+	return total, nil
+}
+
+// Breakdown returns the fleet's cumulative energy split across transition,
+// idle, and dynamic components.
+func (c *Cluster) Breakdown() power.Breakdown {
+	var b power.Breakdown
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			b.Add(m.Breakdown())
+		}
+	}
+	return b
+}
+
+// CurrentPower returns the instantaneous fleet draw.
+func (c *Cluster) CurrentPower() power.Watts {
+	var p power.Watts
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			p += m.CurrentPower()
+		}
+	}
+	return p
+}

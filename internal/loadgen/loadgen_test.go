@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/webapp"
+)
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, "", 1, time.Second); err == nil {
+		t.Error("empty url accepted")
+	}
+	if _, err := Run(ctx, "http://x", 0, time.Second); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+	if _, err := Run(ctx, "http://x", 1, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunCountsCompletions(t *testing.T) {
+	var hits uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		atomic.AddUint64(&hits, 1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), srv.URL, 4, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Completed > atomic.LoadUint64(&hits) {
+		t.Errorf("completed %d > server hits %d", res.Completed, hits)
+	}
+	if res.Rate <= 0 {
+		t.Errorf("rate = %v", res.Rate)
+	}
+	if res.Concurrency != 4 {
+		t.Errorf("concurrency echoed = %d", res.Concurrency)
+	}
+}
+
+func TestRunCountsNon2xxAsFailed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), srv.URL, 2, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Errorf("completed = %d, want 0", res.Completed)
+	}
+	if res.Failed == 0 {
+		t.Error("failures not counted")
+	}
+}
+
+func TestRunRespectsContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := Run(ctx, srv.URL, 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("cancel did not stop the run promptly")
+	}
+}
+
+func TestMaxRateFindsRateLimitedCeiling(t *testing.T) {
+	// An instance emulating a 60 req/s architecture: the search must
+	// recover ≈60 regardless of host speed.
+	arch := profile.Arch{
+		Name: "emul", MaxPerf: 60, IdlePower: 1, MaxPower: 2,
+		OnDuration: time.Second, OffDuration: time.Second,
+	}
+	inst, err := webapp.StartInstance(arch, webapp.InstanceConfig{
+		Seed:     7,
+		Patience: 300 * time.Millisecond,
+		Workload: webapp.Workload{MinIters: 10, MaxIters: 20}, // keep CPU out of the way
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		inst.Stop(ctx)
+	}()
+	rate, err := MaxRate(context.Background(), inst.URL(), MaxRateConfig{
+		RunDuration:    400 * time.Millisecond,
+		Repeats:        2,
+		MaxConcurrency: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 40 || rate > 90 {
+		t.Errorf("measured max rate = %.1f, want ≈60", rate)
+	}
+}
+
+func TestMaxRateValidation(t *testing.T) {
+	if _, err := MaxRate(context.Background(), "http://127.0.0.1:1/", MaxRateConfig{
+		RunDuration: 50 * time.Millisecond,
+		Repeats:     1,
+	}); err != nil {
+		// A dead backend is not a config error: Run completes with zero
+		// rate. Only config validation errors are expected here.
+		t.Logf("dead backend result: %v (acceptable)", err)
+	}
+	cfg := MaxRateConfig{StartConcurrency: 8, MaxConcurrency: 4}
+	if _, err := MaxRate(context.Background(), "http://x", cfg); err == nil {
+		t.Error("inverted concurrency bounds accepted")
+	}
+}

@@ -1,0 +1,398 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+func testArch() profile.Arch {
+	return profile.Arch{
+		Name: "test", MaxPerf: 100,
+		IdlePower: 10, MaxPower: 50,
+		OnDuration: 30 * time.Second, OnEnergy: 900, // 30 W during boot
+		OffDuration: 5 * time.Second, OffEnergy: 100, // 20 W during shutdown
+	}
+}
+
+func mustMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New("m1", testArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", testArch()); err == nil {
+		t.Error("empty id accepted")
+	}
+	bad := testArch()
+	bad.MaxPerf = -1
+	if _, err := New("x", bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	m := mustMachine(t)
+	if m.State() != Off {
+		t.Errorf("initial state = %v, want Off", m.State())
+	}
+	if m.Load() != 0 || m.Remaining() != 0 || m.CurrentPower() != 0 {
+		t.Error("Off machine has non-zero load/remaining/power")
+	}
+	if m.ID() != "m1" || m.Arch().Name != "test" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestFullLifecycle(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Booting || m.Remaining() != 30 {
+		t.Fatalf("after PowerOn: %v remaining %v", m.State(), m.Remaining())
+	}
+	// Boot consumes OnEnergy spread over OnDuration.
+	var total float64
+	for i := 0; i < 30; i++ {
+		e, err := m.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(e)
+	}
+	if math.Abs(total-900) > 1e-9 {
+		t.Errorf("boot energy = %v, want 900", total)
+	}
+	if m.State() != On {
+		t.Fatalf("after boot: %v, want On", m.State())
+	}
+	if err := m.SetLoad(50); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(e)-30) > 1e-9 { // 10 + 0.5*40
+		t.Errorf("serving energy = %v, want 30 J/s at half load", e)
+	}
+	if err := m.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != ShuttingDown || m.Load() != 0 {
+		t.Fatalf("after PowerOff: %v load %v", m.State(), m.Load())
+	}
+	total = 0
+	for i := 0; i < 5; i++ {
+		e, err := m.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(e)
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("shutdown energy = %v, want 100", total)
+	}
+	if m.State() != Off {
+		t.Fatalf("after shutdown: %v, want Off", m.State())
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.PowerOff(); err == nil {
+		t.Error("PowerOff from Off accepted")
+	}
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PowerOn(); err == nil {
+		t.Error("PowerOn while Booting accepted")
+	}
+	if err := m.PowerOff(); err == nil {
+		t.Error("PowerOff while Booting accepted")
+	}
+	// Finish boot.
+	if _, err := m.Tick(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PowerOn(); err == nil {
+		t.Error("PowerOn while On accepted")
+	}
+	if err := m.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PowerOff(); err == nil {
+		t.Error("PowerOff while ShuttingDown accepted")
+	}
+}
+
+func TestSetLoadRules(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.SetLoad(10); err == nil {
+		t.Error("SetLoad on Off machine accepted")
+	}
+	m.PowerOn()
+	m.Tick(30)
+	if err := m.SetLoad(-1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if err := m.SetLoad(math.NaN()); err == nil {
+		t.Error("NaN load accepted")
+	}
+	if err := m.SetLoad(101); err == nil {
+		t.Error("overcommit accepted")
+	}
+	if err := m.SetLoad(100); err != nil {
+		t.Errorf("full load rejected: %v", err)
+	}
+	if m.Load() != 100 {
+		t.Errorf("Load = %v", m.Load())
+	}
+}
+
+func TestTickPartialTransition(t *testing.T) {
+	m := mustMachine(t)
+	m.PowerOn()
+	// One big tick of 40 s: 30 s booting (900 J) + 10 s idle On (100 J).
+	e, err := m.Tick(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(e)-1000) > 1e-9 {
+		t.Errorf("Tick(40) energy = %v, want 1000", e)
+	}
+	if m.State() != On {
+		t.Errorf("state = %v, want On", m.State())
+	}
+}
+
+func TestTickFractionalSeconds(t *testing.T) {
+	m := mustMachine(t)
+	m.PowerOn()
+	var total float64
+	for i := 0; i < 300; i++ {
+		e, err := m.Tick(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(e)
+	}
+	if math.Abs(total-900) > 1e-6 {
+		t.Errorf("fractional boot energy = %v, want 900", total)
+	}
+	if m.State() != On {
+		t.Errorf("state = %v", m.State())
+	}
+}
+
+func TestTickValidation(t *testing.T) {
+	m := mustMachine(t)
+	if _, err := m.Tick(-1); err == nil {
+		t.Error("negative dt accepted")
+	}
+	if _, err := m.Tick(math.NaN()); err == nil {
+		t.Error("NaN dt accepted")
+	}
+	if e, err := m.Tick(0); err != nil || e != 0 {
+		t.Errorf("Tick(0) = %v, %v", e, err)
+	}
+}
+
+func TestZeroDurationTransitions(t *testing.T) {
+	a := testArch()
+	a.OnDuration = 0
+	a.OffDuration = 0
+	m, err := New("fast", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != On {
+		t.Fatalf("zero-duration boot left state %v", m.State())
+	}
+	if err := m.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Off {
+		t.Fatalf("zero-duration shutdown left state %v", m.State())
+	}
+}
+
+func TestCurrentPowerPerState(t *testing.T) {
+	m := mustMachine(t)
+	if m.CurrentPower() != 0 {
+		t.Error("Off power non-zero")
+	}
+	m.PowerOn()
+	if got := float64(m.CurrentPower()); math.Abs(got-30) > 1e-9 {
+		t.Errorf("boot power = %v, want 900/30", got)
+	}
+	m.Tick(30)
+	if got := float64(m.CurrentPower()); got != 10 {
+		t.Errorf("idle On power = %v, want 10", got)
+	}
+	m.SetLoad(100)
+	if got := float64(m.CurrentPower()); got != 50 {
+		t.Errorf("full-load power = %v, want 50", got)
+	}
+	m.PowerOff()
+	if got := float64(m.CurrentPower()); math.Abs(got-20) > 1e-9 {
+		t.Errorf("shutdown power = %v, want 100/5", got)
+	}
+}
+
+func TestOffMachineConsumesNothing(t *testing.T) {
+	m := mustMachine(t)
+	e, err := m.Tick(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("Off machine consumed %v", e)
+	}
+}
+
+func TestLoadDroppedOnPowerOff(t *testing.T) {
+	m := mustMachine(t)
+	m.PowerOn()
+	m.Tick(30)
+	m.SetLoad(60)
+	m.PowerOff()
+	if m.Load() != 0 {
+		t.Errorf("load after PowerOff = %v", m.Load())
+	}
+	// After completing the shutdown and booting again, load stays cleared.
+	m.Tick(5)
+	m.PowerOn()
+	m.Tick(30)
+	if m.Load() != 0 {
+		t.Errorf("load after reboot = %v", m.Load())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Off: "off", Booting: "booting", On: "on", ShuttingDown: "shutting-down"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if State(42).String() == "" {
+		t.Error("unknown state renders empty")
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	m := mustMachine(t)
+	if m.String() == "" {
+		t.Error("empty string for Off machine")
+	}
+	m.PowerOn()
+	if m.String() == "" {
+		t.Error("empty string while booting")
+	}
+	m.Tick(30)
+	m.SetLoad(5)
+	if m.String() == "" {
+		t.Error("empty string while serving")
+	}
+}
+
+// TestPaperParavanceBootEnergy cross-checks the automaton against Table I:
+// a Paravance boot must cost exactly 21341 J over 189 s.
+func TestPaperParavanceBootEnergy(t *testing.T) {
+	para := profile.PaperMachines()[0]
+	m, err := New("p1", para)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PowerOn()
+	var total float64
+	for i := 0; i < 189; i++ {
+		e, err := m.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(e)
+	}
+	if math.Abs(total-21341) > 1e-6 {
+		t.Errorf("Paravance boot energy = %v, want 21341 J", total)
+	}
+	if m.State() != On {
+		t.Errorf("state after 189 s = %v", m.State())
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	m := mustMachine(t)
+	m.PowerOn()
+	m.Tick(30) // full boot: 900 J transition
+	m.SetLoad(50)
+	m.Tick(10) // 10 s at 30 W: 100 J idle + 200 J dynamic
+	m.PowerOff()
+	m.Tick(5) // full shutdown: 100 J transition
+	b := m.Breakdown()
+	if math.Abs(float64(b.Transition)-1000) > 1e-9 {
+		t.Errorf("transition = %v, want 1000", b.Transition)
+	}
+	if math.Abs(float64(b.Idle)-100) > 1e-9 {
+		t.Errorf("idle = %v, want 100", b.Idle)
+	}
+	if math.Abs(float64(b.Dynamic)-200) > 1e-9 {
+		t.Errorf("dynamic = %v, want 200", b.Dynamic)
+	}
+}
+
+func TestInjectBootFailure(t *testing.T) {
+	m := mustMachine(t)
+	m.InjectBootFailure()
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.Tick(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(e)-900) > 1e-9 {
+		t.Errorf("failed boot consumed %v, want full 900 J", e)
+	}
+	if m.State() != Off {
+		t.Fatalf("state after failed boot = %v, want Off", m.State())
+	}
+	// The failure flag is one-shot: the next boot succeeds.
+	if err := m.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick(30)
+	if m.State() != On {
+		t.Errorf("second boot state = %v, want On", m.State())
+	}
+}
+
+func TestInjectBootFailureMidTick(t *testing.T) {
+	// A failed boot inside a large tick must stop consuming at the boot
+	// boundary (the machine is Off afterwards, drawing nothing).
+	m := mustMachine(t)
+	m.InjectBootFailure()
+	m.PowerOn()
+	e, err := m.Tick(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(e)-900) > 1e-9 {
+		t.Errorf("energy = %v, want only the boot's 900 J", e)
+	}
+	if m.State() != Off {
+		t.Errorf("state = %v", m.State())
+	}
+}

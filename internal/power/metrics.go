@@ -1,0 +1,148 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the energy-proportionality metrics the paper's
+// related-work section draws on (Varsamopoulos et al., "Trends and Effects of
+// Energy Proportionality on Server Provisioning in Data Centers"):
+//
+//   - IPR (Idle-to-Peak Ratio, reported here as its proportionality
+//     complement): measures the dynamic power range. A perfectly
+//     proportional system has idle power 0, hence IPR = 0; a flat system has
+//     IPR = 1.
+//   - LDR (Linear Deviation Ratio): measures how far the measured power
+//     curve deviates from the straight line between the idle and peak
+//     points, as a fraction of peak power. Positive LDR means the curve
+//     bulges above the line (worse than linear); negative means below
+//     (better than linear, i.e. sub-linear consumption).
+//
+// These are used by the benchmark harness to quantify the proportionality of
+// the BML combination curve against the homogeneous baselines.
+
+// CurvePoint is one (utilization, power) sample of a power/performance
+// curve. Utilization is expressed in the application metric (e.g. req/s) or
+// normalized [0,1]; the metrics only require consistent units.
+type CurvePoint struct {
+	Utilization float64
+	Power       Watts
+}
+
+// ErrCurveTooShort is returned when a metric needs at least two points.
+var ErrCurveTooShort = errors.New("power: curve needs at least two points")
+
+// IPR computes the idle-to-peak power ratio of a curve:
+// idlePower/peakPower. The curve need not be sorted; the points with minimum
+// and maximum utilization are taken as idle and peak respectively.
+func IPR(curve []CurvePoint) (float64, error) {
+	if len(curve) < 2 {
+		return 0, ErrCurveTooShort
+	}
+	idle, peak, err := endpoints(curve)
+	if err != nil {
+		return 0, err
+	}
+	if peak.Power <= 0 {
+		return 0, fmt.Errorf("power: peak power must be positive, got %v", peak.Power)
+	}
+	return float64(idle.Power) / float64(peak.Power), nil
+}
+
+// LDR computes the linear deviation ratio: the maximum signed deviation of
+// the curve from the idle→peak straight line, normalized by peak power.
+func LDR(curve []CurvePoint) (float64, error) {
+	if len(curve) < 2 {
+		return 0, ErrCurveTooShort
+	}
+	idle, peak, err := endpoints(curve)
+	if err != nil {
+		return 0, err
+	}
+	if peak.Power <= 0 {
+		return 0, fmt.Errorf("power: peak power must be positive, got %v", peak.Power)
+	}
+	span := peak.Utilization - idle.Utilization
+	if span <= 0 {
+		return 0, fmt.Errorf("power: degenerate utilization span %v", span)
+	}
+	var worst float64
+	for _, pt := range curve {
+		frac := (pt.Utilization - idle.Utilization) / span
+		lin := float64(idle.Power) + frac*float64(peak.Power-idle.Power)
+		dev := (float64(pt.Power) - lin) / float64(peak.Power)
+		if math.Abs(dev) > math.Abs(worst) {
+			worst = dev
+		}
+	}
+	return worst, nil
+}
+
+// ProportionalityGap integrates the area between the curve and the ideal
+// proportional line (power = peakPower * utilization/peakUtilization),
+// normalized by the area under the ideal line. Zero means perfectly
+// proportional; 1 means the curve wastes as much energy again as the ideal
+// would use. The curve is sorted by utilization before integration.
+func ProportionalityGap(curve []CurvePoint) (float64, error) {
+	if len(curve) < 2 {
+		return 0, ErrCurveTooShort
+	}
+	pts := make([]CurvePoint, len(curve))
+	copy(pts, curve)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Utilization < pts[j].Utilization })
+	idle, peak := pts[0], pts[len(pts)-1]
+	span := peak.Utilization - idle.Utilization
+	if span <= 0 || peak.Power <= 0 {
+		return 0, fmt.Errorf("power: degenerate curve (span=%v, peak=%v)", span, peak.Power)
+	}
+	var areaCurve, areaIdeal float64
+	for i := 1; i < len(pts); i++ {
+		du := pts[i].Utilization - pts[i-1].Utilization
+		areaCurve += du * float64(pts[i].Power+pts[i-1].Power) / 2
+		ideal0 := float64(peak.Power) * (pts[i-1].Utilization - idle.Utilization) / span
+		ideal1 := float64(peak.Power) * (pts[i].Utilization - idle.Utilization) / span
+		areaIdeal += du * (ideal0 + ideal1) / 2
+	}
+	if areaIdeal <= 0 {
+		return 0, fmt.Errorf("power: ideal area is zero")
+	}
+	return (areaCurve - areaIdeal) / areaIdeal, nil
+}
+
+func endpoints(curve []CurvePoint) (idle, peak CurvePoint, err error) {
+	idle, peak = curve[0], curve[0]
+	for _, pt := range curve {
+		if !pt.Power.IsValid() {
+			return idle, peak, ErrNegativePower
+		}
+		if math.IsNaN(pt.Utilization) || math.IsInf(pt.Utilization, 0) {
+			return idle, peak, fmt.Errorf("power: invalid utilization %v", pt.Utilization)
+		}
+		if pt.Utilization < idle.Utilization {
+			idle = pt
+		}
+		if pt.Utilization > peak.Utilization {
+			peak = pt
+		}
+	}
+	return idle, peak, nil
+}
+
+// SampleModel evaluates a Model at n+1 evenly spaced rates in [0, MaxPerf]
+// and returns the resulting curve. It is the standard way figures in this
+// repository turn a model into a plottable series.
+func SampleModel(m Model, n int) []CurvePoint {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]CurvePoint, 0, n+1)
+	max := m.MaxPerf()
+	for i := 0; i <= n; i++ {
+		u := max * float64(i) / float64(n)
+		out = append(out, CurvePoint{Utilization: u, Power: m.PowerAt(u)})
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package power provides the electrical quantities, power-model interfaces,
+// energy integration, and energy-proportionality metrics used throughout the
+// BML library.
+//
+// All simulation code in this repository works on two base quantities:
+//
+//   - Watts: instantaneous electrical power draw.
+//   - Joules: integrated energy (1 J = 1 W·s).
+//
+// The paper's evaluation integrates power at a one-second granularity, so the
+// canonical integrator here is a step integrator (power assumed constant over
+// each step), with a trapezoidal integrator provided for finer-grained
+// series. The package also implements the two energy-proportionality metrics
+// referenced by the paper's related-work section (Varsamopoulos et al.): IPR,
+// the ideal-to-peak ratio, and LDR, the linear-deviation ratio.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Watts is an instantaneous power draw. Negative values are invalid in every
+// API of this package; constructors and integrators reject them.
+type Watts float64
+
+// Joules is an amount of energy. One Joule is one Watt sustained for one
+// second.
+type Joules float64
+
+// KilowattHours converts energy to kWh, the unit most data-center cost
+// models are expressed in.
+func (j Joules) KilowattHours() float64 { return float64(j) / 3.6e6 }
+
+// WattHours converts energy to Wh.
+func (j Joules) WattHours() float64 { return float64(j) / 3600 }
+
+// String renders the energy with an adaptive unit (J, kJ, MJ, GJ).
+func (j Joules) String() string {
+	v := float64(j)
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.3f GJ", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3f MJ", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.3f kJ", v/1e3)
+	default:
+		return fmt.Sprintf("%.3f J", v)
+	}
+}
+
+// String renders the power in Watts with three decimals.
+func (w Watts) String() string { return fmt.Sprintf("%.3f W", float64(w)) }
+
+// IsValid reports whether the power value is finite and non-negative.
+func (w Watts) IsValid() bool {
+	return !math.IsNaN(float64(w)) && !math.IsInf(float64(w), 0) && w >= 0
+}
+
+// IsValid reports whether the energy value is finite and non-negative.
+func (j Joules) IsValid() bool {
+	return !math.IsNaN(float64(j)) && !math.IsInf(float64(j), 0) && j >= 0
+}
+
+// ErrNegativePower is returned when a negative or non-finite power sample is
+// fed to an integrator or model.
+var ErrNegativePower = errors.New("power: negative or non-finite power sample")
+
+// ErrNonMonotonicTime is returned when samples are fed to an integrator out
+// of time order.
+var ErrNonMonotonicTime = errors.New("power: non-monotonic sample time")
+
+// Model maps a performance rate (application metric, e.g. requests/s) to an
+// instantaneous power draw. Implementations must be safe for concurrent use.
+type Model interface {
+	// PowerAt returns the power drawn when sustaining perfRate units of the
+	// application metric. Implementations clamp perfRate to their valid
+	// domain rather than erroring, because schedulers routinely probe
+	// slightly out-of-range rates during threshold searches.
+	PowerAt(perfRate float64) Watts
+	// MaxPerf returns the largest sustainable performance rate.
+	MaxPerf() float64
+}
+
+// LinearModel is the paper's Step 1 assumption: power grows linearly from
+// Idle at rate 0 to Max at rate MaxRate. The paper notes (citing Rivoire et
+// al.) that linearity may slightly under- or over-estimate real hardware but
+// is precise enough for combination planning.
+type LinearModel struct {
+	Idle    Watts   // draw at performance rate 0 while powered on
+	Max     Watts   // draw at MaxRate
+	MaxRate float64 // maximum sustainable performance rate
+}
+
+// NewLinearModel validates and constructs a LinearModel. It requires
+// 0 <= idle <= max and maxRate > 0.
+func NewLinearModel(idle, max Watts, maxRate float64) (*LinearModel, error) {
+	if !idle.IsValid() || !max.IsValid() {
+		return nil, ErrNegativePower
+	}
+	if max < idle {
+		return nil, fmt.Errorf("power: max power %v below idle power %v", max, idle)
+	}
+	if maxRate <= 0 || math.IsNaN(maxRate) || math.IsInf(maxRate, 0) {
+		return nil, fmt.Errorf("power: invalid max rate %v", maxRate)
+	}
+	return &LinearModel{Idle: idle, Max: max, MaxRate: maxRate}, nil
+}
+
+// PowerAt implements Model. Rates below 0 clamp to 0; rates above MaxRate
+// clamp to MaxRate.
+func (m *LinearModel) PowerAt(perfRate float64) Watts {
+	if perfRate <= 0 {
+		return m.Idle
+	}
+	if perfRate >= m.MaxRate {
+		return m.Max
+	}
+	frac := perfRate / m.MaxRate
+	return m.Idle + Watts(frac)*(m.Max-m.Idle)
+}
+
+// MaxPerf implements Model.
+func (m *LinearModel) MaxPerf() float64 { return m.MaxRate }
+
+// DynamicRange returns Max-Idle, the usable dynamic power range.
+func (m *LinearModel) DynamicRange() Watts { return m.Max - m.Idle }
+
+// StepIntegrator accumulates energy from a series of (power, duration)
+// steps, the integration scheme the paper's simulator uses at one-second
+// granularity. The zero value is ready to use.
+type StepIntegrator struct {
+	total Joules
+	steps int
+}
+
+// Add charges p for dur seconds. It returns an error for negative power or
+// negative duration; zero duration is a no-op.
+func (si *StepIntegrator) Add(p Watts, durSeconds float64) error {
+	if !p.IsValid() {
+		return ErrNegativePower
+	}
+	if durSeconds < 0 || math.IsNaN(durSeconds) || math.IsInf(durSeconds, 0) {
+		return fmt.Errorf("power: invalid duration %v", durSeconds)
+	}
+	si.total += Joules(float64(p) * durSeconds)
+	if durSeconds > 0 {
+		si.steps++
+	}
+	return nil
+}
+
+// AddEnergy charges a pre-computed energy amount (used for On/Off transition
+// costs, which the paper reports directly in Joules).
+func (si *StepIntegrator) AddEnergy(e Joules) error {
+	if !e.IsValid() {
+		return fmt.Errorf("power: invalid energy %v", float64(e))
+	}
+	si.total += e
+	return nil
+}
+
+// Total returns the accumulated energy.
+func (si *StepIntegrator) Total() Joules { return si.total }
+
+// Steps returns how many non-zero-duration steps have been integrated.
+func (si *StepIntegrator) Steps() int { return si.steps }
+
+// Reset zeroes the accumulator.
+func (si *StepIntegrator) Reset() { si.total = 0; si.steps = 0 }
+
+// TrapezoidIntegrator integrates a sampled power signal using the
+// trapezoidal rule. It is used by the wattmeter emulation where samples are
+// timestamped rather than fixed-width.
+type TrapezoidIntegrator struct {
+	total    Joules
+	lastT    float64
+	lastP    Watts
+	hasFirst bool
+}
+
+// Sample feeds a timestamped power reading. Timestamps must be
+// non-decreasing. The first sample only establishes the baseline.
+func (ti *TrapezoidIntegrator) Sample(tSeconds float64, p Watts) error {
+	if !p.IsValid() {
+		return ErrNegativePower
+	}
+	if math.IsNaN(tSeconds) || math.IsInf(tSeconds, 0) {
+		return fmt.Errorf("power: invalid sample time %v", tSeconds)
+	}
+	if !ti.hasFirst {
+		ti.hasFirst = true
+		ti.lastT, ti.lastP = tSeconds, p
+		return nil
+	}
+	if tSeconds < ti.lastT {
+		return ErrNonMonotonicTime
+	}
+	dt := tSeconds - ti.lastT
+	ti.total += Joules(dt * float64(ti.lastP+p) / 2)
+	ti.lastT, ti.lastP = tSeconds, p
+	return nil
+}
+
+// Total returns the accumulated energy.
+func (ti *TrapezoidIntegrator) Total() Joules { return ti.total }
+
+// Reset clears all state, including the baseline sample.
+func (ti *TrapezoidIntegrator) Reset() { *ti = TrapezoidIntegrator{} }

@@ -1,0 +1,112 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// DailyPattern is the predictor for the paper's "partial" load-knowledge
+// class (§III): weekly and diurnal patterns are known but the exact
+// variations are not. Unlike LookaheadMax it never reads future samples;
+// the forecast for second t is built from
+//
+//   - the pattern: the maximum load yesterday over the same look-ahead
+//     window, i.e. max over [t-86400, t-86400+window); and
+//   - the trend: the ratio between the recent mean load and the mean load
+//     at the same time yesterday, clamped to [0.5, 3] so a quiet spell or
+//     a flash crowd cannot collapse or explode the forecast.
+//
+// During the first day, with no pattern available, the predictor falls
+// back to the maximum over the trailing window (a reactive estimate).
+type DailyPattern struct {
+	vals     []float64
+	window   int
+	trendWin int
+	prefix   []float64 // prefix sums for O(1) range means
+}
+
+// NewDailyPattern builds the predictor. window is the provisioning
+// look-ahead in seconds (same role as LookaheadMax's); trendWin is the
+// averaging width for the trend ratio (0 means 300 s).
+func NewDailyPattern(tr *trace.Trace, window, trendWin int) (*DailyPattern, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("predict: invalid window %d", window)
+	}
+	if trendWin == 0 {
+		trendWin = 300
+	}
+	if trendWin < 0 {
+		return nil, fmt.Errorf("predict: invalid trend window %d", trendWin)
+	}
+	vals := tr.Values()
+	prefix := make([]float64, len(vals)+1)
+	for i, v := range vals {
+		prefix[i+1] = prefix[i] + v
+	}
+	return &DailyPattern{vals: vals, window: window, trendWin: trendWin, prefix: prefix}, nil
+}
+
+// mean returns the average of vals[from:to), clamped to valid bounds.
+func (p *DailyPattern) mean(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(p.vals) {
+		to = len(p.vals)
+	}
+	if from >= to {
+		return 0
+	}
+	return (p.prefix[to] - p.prefix[from]) / float64(to-from)
+}
+
+// maxRange returns the maximum of vals[from:to), clamped to valid bounds.
+func (p *DailyPattern) maxRange(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(p.vals) {
+		to = len(p.vals)
+	}
+	max := 0.0
+	for i := from; i < to; i++ {
+		if p.vals[i] > max {
+			max = p.vals[i]
+		}
+	}
+	return max
+}
+
+// Predict implements Predictor using only samples at indices < t.
+func (p *DailyPattern) Predict(t int) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(p.vals) {
+		t = len(p.vals) - 1
+	}
+	day := trace.SecondsPerDay
+	if t < day {
+		// No pattern yet: reactive trailing-window maximum.
+		return p.maxRange(t-p.window, t+1)
+	}
+	pattern := p.maxRange(t-day, t-day+p.window)
+	recent := p.mean(t-p.trendWin, t)
+	yesterday := p.mean(t-day-p.trendWin, t-day)
+	ratio := 1.0
+	if yesterday > 0 {
+		ratio = recent / yesterday
+		if ratio < 0.5 {
+			ratio = 0.5
+		} else if ratio > 3 {
+			ratio = 3
+		}
+	}
+	return pattern * ratio
+}
+
+// Name implements Predictor.
+func (p *DailyPattern) Name() string {
+	return fmt.Sprintf("daily-pattern(%ds)", p.window)
+}

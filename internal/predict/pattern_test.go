@@ -1,0 +1,155 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// twoDayTrace builds two identical sinusoidal days scaled by dayScale on
+// the second day.
+func twoDayTrace(t *testing.T, peak, day2Scale float64) *trace.Trace {
+	t.Helper()
+	vals := make([]float64, 2*trace.SecondsPerDay)
+	for i := range vals {
+		tod := float64(i%trace.SecondsPerDay) / trace.SecondsPerDay
+		v := peak * (0.5 - 0.5*math.Cos(2*math.Pi*tod))
+		if i >= trace.SecondsPerDay {
+			v *= day2Scale
+		}
+		vals[i] = v
+	}
+	tr, err := trace.New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDailyPatternValidation(t *testing.T) {
+	tr := twoDayTrace(t, 100, 1)
+	if _, err := NewDailyPattern(tr, 0, 300); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewDailyPattern(tr, 378, -1); err == nil {
+		t.Error("negative trend window accepted")
+	}
+	p, err := NewDailyPattern(tr, 378, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestDailyPatternRepeatingDays(t *testing.T) {
+	// Day 2 repeats day 1 exactly: the pattern forecast at t should be
+	// close to the true look-ahead max at t.
+	tr := twoDayTrace(t, 1000, 1)
+	p, err := NewDailyPattern(tr, 378, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewLookaheadMax(tr, 378)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []int{trace.SecondsPerDay + 3600, trace.SecondsPerDay + 43200, trace.SecondsPerDay + 80000} {
+		got := p.Predict(tt)
+		want := oracle.Predict(tt)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("t=%d: pattern %v vs true window max %v (%.1f%% off)", tt, got, want, rel*100)
+		}
+	}
+}
+
+func TestDailyPatternTrendScaling(t *testing.T) {
+	// Day 2 runs at 1.5× day 1: the trend ratio must scale the forecast up.
+	tr := twoDayTrace(t, 1000, 1.5)
+	p, err := NewDailyPattern(tr, 378, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := trace.SecondsPerDay + 43200 // noon of day 2
+	got := p.Predict(tt)
+	yesterdayMax := tr.MaxInWindow(tt-trace.SecondsPerDay, 378)
+	if got < yesterdayMax*1.3 {
+		t.Errorf("trend not applied: forecast %v vs yesterday's %v", got, yesterdayMax)
+	}
+}
+
+func TestDailyPatternTrendClamped(t *testing.T) {
+	// Day 2 at 100× day 1: the ratio clamps at 3.
+	tr := twoDayTrace(t, 10, 100)
+	p, err := NewDailyPattern(tr, 378, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := trace.SecondsPerDay + 43200
+	got := p.Predict(tt)
+	yesterdayMax := tr.MaxInWindow(tt-trace.SecondsPerDay, 378)
+	if got > yesterdayMax*3+1e-9 {
+		t.Errorf("trend ratio not clamped: %v > 3 × %v", got, yesterdayMax)
+	}
+}
+
+func TestDailyPatternFirstDayFallback(t *testing.T) {
+	// During the first day the predictor is reactive: a past spike within
+	// the trailing window keeps the forecast high.
+	vals := make([]float64, trace.SecondsPerDay)
+	vals[1000] = 500
+	tr, err := trace.New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewDailyPattern(tr, 378, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Predict(1100); got != 500 {
+		t.Errorf("trailing-window fallback = %v, want 500", got)
+	}
+	if got := p.Predict(5000); got != 0 {
+		t.Errorf("forecast after the window = %v, want 0", got)
+	}
+}
+
+func TestDailyPatternUsesOnlyPastSamples(t *testing.T) {
+	// Two flat days, then a forecast point right before a future spike:
+	// the pattern predictor must not see it (LookaheadMax would).
+	vals := make([]float64, 2*trace.SecondsPerDay)
+	for i := range vals {
+		vals[i] = 100
+	}
+	spikeAt := trace.SecondsPerDay + 50000
+	vals[spikeAt] = 9999
+	tr, err := trace.New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewDailyPattern(tr, 378, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Predict(spikeAt - 100) // spike is 100 s ahead, inside a 378 s window
+	if got > 200 {
+		t.Errorf("pattern predictor saw the future: %v", got)
+	}
+}
+
+func TestDailyPatternBoundsClamping(t *testing.T) {
+	tr := twoDayTrace(t, 100, 1)
+	p, err := NewDailyPattern(tr, 378, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Predict(-5) != p.Predict(0) {
+		t.Error("negative t not clamped")
+	}
+	_ = p.Predict(1 << 30) // must not panic
+}

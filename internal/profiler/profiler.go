@@ -1,0 +1,271 @@
+// Package profiler implements Step 1 of the methodology: building the
+// energy and performance profile of an architecture running the target
+// application. The paper ran lighttpd + Siege on five physical machines
+// with a WattsUp?Pro / Kwapi power feed; this package reproduces the same
+// measurement protocol against the repository's emulated substrate:
+//
+//   - maximum performance: a live HTTP instance of the application,
+//     rate-limited to the architecture's emulated speed, is benchmarked
+//     with the Siege-equivalent loadgen (increasing concurrency, fixed-
+//     duration runs, averaged repeats);
+//   - idle and max power: the emulated wattmeter samples the machine's
+//     power model at rest and at full load over a measurement window;
+//   - On/Off costs: the machine automaton is driven through boot and
+//     shutdown under the wattmeter, yielding transition durations and
+//     energies.
+//
+// Given a ground-truth architecture (the emulation parameters), the
+// profiler recovers a profile.Arch whose constants match the ground truth
+// up to meter noise — the property the profiler tests assert.
+package profiler
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/webapp"
+)
+
+// Config parameterizes a profiling campaign.
+type Config struct {
+	// RateScale compresses the emulated service rates so test campaigns
+	// finish quickly (measured rates are reported back at 1.0 scale).
+	// Zero means 1.
+	RateScale float64
+	// BenchDuration is each load-generation probe's length (the paper's
+	// 30 s). Zero means 2 s.
+	BenchDuration time.Duration
+	// BenchRepeats is the number of averaged runs (the paper's 5).
+	// Zero means 3.
+	BenchRepeats int
+	// PowerWindow is the simulated-seconds window for idle/max power
+	// measurement. Zero means 30.
+	PowerWindow int
+	// MeterNoise is the wattmeter's relative 1-sigma noise. Default 0
+	// (exact measurement).
+	MeterNoise float64
+	// MeterSeed makes meter noise deterministic.
+	MeterSeed int64
+	// SkipLiveBench replaces the HTTP benchmark with the emulated
+	// machine's nominal rate; used where spawning servers is undesirable.
+	SkipLiveBench bool
+}
+
+func (c *Config) fill() {
+	if c.RateScale == 0 {
+		c.RateScale = 1
+	}
+	if c.BenchDuration == 0 {
+		c.BenchDuration = 2 * time.Second
+	}
+	if c.BenchRepeats == 0 {
+		c.BenchRepeats = 3
+	}
+	if c.PowerWindow == 0 {
+		c.PowerWindow = 30
+	}
+}
+
+// Profile measures one architecture end to end and returns the recovered
+// profile. groundTruth supplies the emulation parameters (the "hardware");
+// the returned profile contains what the measurement pipeline observed.
+func Profile(ctx context.Context, groundTruth profile.Arch, cfg Config) (profile.Arch, error) {
+	cfg.fill()
+	if err := groundTruth.Validate(); err != nil {
+		return profile.Arch{}, err
+	}
+	if cfg.RateScale < 0 {
+		return profile.Arch{}, fmt.Errorf("profiler: invalid rate scale %v", cfg.RateScale)
+	}
+
+	out := profile.Arch{Name: groundTruth.Name}
+
+	// --- Maximum performance (live HTTP benchmark) ---
+	if cfg.SkipLiveBench {
+		out.MaxPerf = groundTruth.MaxPerf
+	} else {
+		maxPerf, err := measureMaxPerf(ctx, groundTruth, cfg)
+		if err != nil {
+			return profile.Arch{}, err
+		}
+		out.MaxPerf = maxPerf
+	}
+
+	// --- Idle and max power (wattmeter over the power model) ---
+	idle, maxP, err := measurePower(groundTruth, cfg)
+	if err != nil {
+		return profile.Arch{}, err
+	}
+	out.IdlePower, out.MaxPower = idle, maxP
+
+	// --- On/Off durations and energies (automaton under the meter) ---
+	onD, onE, offD, offE, err := measureTransitions(groundTruth, cfg)
+	if err != nil {
+		return profile.Arch{}, err
+	}
+	out.OnDuration, out.OnEnergy = onD, onE
+	out.OffDuration, out.OffEnergy = offD, offE
+
+	if err := out.Validate(); err != nil {
+		return profile.Arch{}, fmt.Errorf("profiler: measured profile invalid: %w", err)
+	}
+	return out, nil
+}
+
+// measureMaxPerf runs the Siege-equivalent search against a live instance.
+func measureMaxPerf(ctx context.Context, arch profile.Arch, cfg Config) (float64, error) {
+	inst, err := webapp.StartInstance(arch, webapp.InstanceConfig{
+		RateScale: cfg.RateScale,
+		Seed:      cfg.MeterSeed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("profiler: starting instance: %w", err)
+	}
+	defer func() {
+		stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = inst.Stop(stopCtx)
+	}()
+	rate, err := loadgen.MaxRate(ctx, inst.URL(), loadgen.MaxRateConfig{
+		RunDuration: cfg.BenchDuration,
+		Repeats:     cfg.BenchRepeats,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("profiler: benchmarking: %w", err)
+	}
+	if cfg.RateScale != 1 {
+		rate /= cfg.RateScale
+	}
+	return rate, nil
+}
+
+// measurePower samples idle and full-load draw with the emulated meter.
+func measurePower(arch profile.Arch, cfg Config) (idle, max power.Watts, err error) {
+	meter, err := power.NewWattmeter(1, cfg.MeterNoise, cfg.MeterSeed)
+	if err != nil {
+		return 0, 0, err
+	}
+	t := 0.0
+	// Idle window.
+	for s := 0; s < cfg.PowerWindow; s++ {
+		if _, err := meter.Observe(t, arch.PowerAt(0)); err != nil {
+			return 0, 0, err
+		}
+		t++
+	}
+	idleMean, err := meter.MeanPower(0, t)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Full-load window.
+	loadStart := t
+	for s := 0; s < cfg.PowerWindow; s++ {
+		if _, err := meter.Observe(t, arch.PowerAt(arch.MaxPerf)); err != nil {
+			return 0, 0, err
+		}
+		t++
+	}
+	maxMean, err := meter.MeanPower(loadStart, t)
+	if err != nil {
+		return 0, 0, err
+	}
+	if maxMean < idleMean {
+		// Meter noise inverted the ordering on a near-flat profile; clamp
+		// so the measured profile stays valid.
+		maxMean = idleMean
+	}
+	return idleMean, maxMean, nil
+}
+
+// measureTransitions drives the automaton through one on/off cycle under
+// the meter and reads back durations and energies.
+func measureTransitions(arch profile.Arch, cfg Config) (onD time.Duration, onE power.Joules, offD time.Duration, offE power.Joules, err error) {
+	m, err := machine.New(arch.Name+"-probe", arch)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := m.PowerOn(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var onSeconds int
+	var onEnergy float64
+	for m.State() == machine.Booting {
+		e, terr := m.Tick(1)
+		if terr != nil {
+			return 0, 0, 0, 0, terr
+		}
+		onEnergy += float64(e)
+		onSeconds++
+		if onSeconds > 1<<20 {
+			return 0, 0, 0, 0, fmt.Errorf("profiler: boot of %s never completed", arch.Name)
+		}
+	}
+	if err := m.PowerOff(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var offSeconds int
+	var offEnergy float64
+	for m.State() == machine.ShuttingDown {
+		e, terr := m.Tick(1)
+		if terr != nil {
+			return 0, 0, 0, 0, terr
+		}
+		offEnergy += float64(e)
+		offSeconds++
+		if offSeconds > 1<<20 {
+			return 0, 0, 0, 0, fmt.Errorf("profiler: shutdown of %s never completed", arch.Name)
+		}
+	}
+	return time.Duration(onSeconds) * time.Second, power.Joules(onEnergy),
+		time.Duration(offSeconds) * time.Second, power.Joules(offEnergy), nil
+}
+
+// ProfileAll measures every architecture in the catalog sequentially and
+// returns the recovered profiles in input order — the campaign behind
+// Table I and Figure 3.
+func ProfileAll(ctx context.Context, catalog []profile.Arch, cfg Config) ([]profile.Arch, error) {
+	out := make([]profile.Arch, 0, len(catalog))
+	for _, a := range catalog {
+		p, err := Profile(ctx, a, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: %s: %w", a.Name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Compare reports the worst relative deviation between a measured profile
+// and its ground truth across the scalar fields — the acceptance metric
+// profiling campaigns log.
+func Compare(measured, truth profile.Arch) float64 {
+	rel := func(a, b float64) float64 {
+		if b == 0 {
+			if a == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return math.Abs(a-b) / b
+	}
+	worst := rel(measured.MaxPerf, truth.MaxPerf)
+	for _, pair := range [][2]float64{
+		{float64(measured.IdlePower), float64(truth.IdlePower)},
+		{float64(measured.MaxPower), float64(truth.MaxPower)},
+		{measured.OnDuration.Seconds(), truth.OnDuration.Seconds()},
+		{float64(measured.OnEnergy), float64(truth.OnEnergy)},
+		{measured.OffDuration.Seconds(), truth.OffDuration.Seconds()},
+		{float64(measured.OffEnergy), float64(truth.OffEnergy)},
+	} {
+		if r := rel(pair[0], pair[1]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

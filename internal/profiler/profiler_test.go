@@ -1,0 +1,157 @@
+package profiler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// scaledArch compresses a Table I profile for fast live benchmarking: the
+// profiler's RateScale reports rates back at hardware scale.
+func chromebookTruth() profile.Arch {
+	machines := profile.PaperMachines()
+	for _, m := range machines {
+		if m.Name == profile.Chromebook {
+			return m
+		}
+	}
+	panic("chromebook missing")
+}
+
+func TestMeasureTransitionsExact(t *testing.T) {
+	truth := chromebookTruth()
+	onD, onE, offD, offE, err := measureTransitions(truth, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onD != truth.OnDuration {
+		t.Errorf("on duration = %v, want %v", onD, truth.OnDuration)
+	}
+	if offD != truth.OffDuration {
+		t.Errorf("off duration = %v, want %v", offD, truth.OffDuration)
+	}
+	if diff := float64(onE - truth.OnEnergy); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("on energy = %v, want %v", onE, truth.OnEnergy)
+	}
+	if diff := float64(offE - truth.OffEnergy); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("off energy = %v, want %v", offE, truth.OffEnergy)
+	}
+}
+
+func TestMeasurePowerNoiseless(t *testing.T) {
+	truth := chromebookTruth()
+	idle, max, err := measurePower(truth, Config{PowerWindow: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle != truth.IdlePower {
+		t.Errorf("idle = %v, want %v", idle, truth.IdlePower)
+	}
+	if max != truth.MaxPower {
+		t.Errorf("max = %v, want %v", max, truth.MaxPower)
+	}
+}
+
+func TestMeasurePowerWithNoiseStaysClose(t *testing.T) {
+	truth := chromebookTruth()
+	idle, max, err := measurePower(truth, Config{PowerWindow: 60, MeterNoise: 0.015, MeterSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relIdle := float64(idle-truth.IdlePower) / float64(truth.IdlePower)
+	relMax := float64(max-truth.MaxPower) / float64(truth.MaxPower)
+	for name, rel := range map[string]float64{"idle": relIdle, "max": relMax} {
+		if rel > 0.02 || rel < -0.02 {
+			t.Errorf("%s power off by %.1f%%", name, rel*100)
+		}
+	}
+	if max < idle {
+		t.Error("noise inverted idle/max ordering")
+	}
+}
+
+func TestProfileSkipLiveBenchRecoversGroundTruth(t *testing.T) {
+	ctx := context.Background()
+	for _, truth := range profile.PaperMachines() {
+		got, err := Profile(ctx, truth, Config{SkipLiveBench: true})
+		if err != nil {
+			t.Fatalf("%s: %v", truth.Name, err)
+		}
+		if dev := Compare(got, truth); dev > 1e-9 {
+			t.Errorf("%s: noiseless profile deviates %.2e\nmeasured: %v\ntruth:    %v",
+				truth.Name, dev, got, truth)
+		}
+	}
+}
+
+func TestProfileLiveBenchRecoversMaxPerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP benchmark")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	truth := chromebookTruth() // 33 req/s — fast enough to bench directly
+	got, err := Profile(ctx, truth, Config{
+		BenchDuration: 400 * time.Millisecond,
+		BenchRepeats:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (got.MaxPerf - truth.MaxPerf) / truth.MaxPerf
+	if rel > 0.5 || rel < -0.5 {
+		t.Errorf("live-measured maxPerf = %.1f, want ≈%.0f", got.MaxPerf, truth.MaxPerf)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("measured profile invalid: %v", err)
+	}
+}
+
+func TestProfileAllOrderPreserved(t *testing.T) {
+	ctx := context.Background()
+	catalog := profile.PaperMachines()
+	got, err := ProfileAll(ctx, catalog, Config{SkipLiveBench: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(catalog) {
+		t.Fatalf("profiles = %d", len(got))
+	}
+	for i := range catalog {
+		if got[i].Name != catalog[i].Name {
+			t.Errorf("order changed at %d: %q", i, got[i].Name)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	ctx := context.Background()
+	bad := chromebookTruth()
+	bad.MaxPerf = -1
+	if _, err := Profile(ctx, bad, Config{SkipLiveBench: true}); err == nil {
+		t.Error("invalid ground truth accepted")
+	}
+	good := chromebookTruth()
+	if _, err := Profile(ctx, good, Config{SkipLiveBench: true, RateScale: -1}); err == nil {
+		t.Error("negative rate scale accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := chromebookTruth()
+	if dev := Compare(a, a); dev != 0 {
+		t.Errorf("self-comparison = %v", dev)
+	}
+	b := a
+	b.MaxPerf = a.MaxPerf * 1.1
+	if dev := Compare(b, a); dev < 0.099 || dev > 0.101 {
+		t.Errorf("10%% perf deviation measured as %v", dev)
+	}
+	c := a
+	c.OffEnergy = a.OffEnergy * 2
+	if dev := Compare(c, a); dev < 0.99 {
+		t.Errorf("doubled off energy measured as %v", dev)
+	}
+}

@@ -1,0 +1,86 @@
+// Package qos accounts for quality-of-service during simulation: whenever
+// the powered-on capacity falls short of the offered load (for example
+// while big machines are still booting), the shortfall is recorded as lost
+// request-seconds and the second counts as a violation. The paper's
+// scheduler is designed to avoid such violations by provisioning for the
+// predicted window maximum; this package is how the evaluation verifies it.
+package qos
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tracker accumulates QoS statistics over a simulation run. The zero value
+// is ready to use.
+type Tracker struct {
+	seconds          float64
+	violationSeconds float64
+	demand           float64 // integral of offered load (request count)
+	served           float64 // integral of served load
+}
+
+// Observe records one interval of dt seconds with the given offered and
+// served rates.
+func (t *Tracker) Observe(offered, served, dt float64) error {
+	if dt < 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return fmt.Errorf("qos: invalid duration %v", dt)
+	}
+	if offered < 0 || served < 0 || math.IsNaN(offered) || math.IsNaN(served) {
+		return fmt.Errorf("qos: invalid rates offered=%v served=%v", offered, served)
+	}
+	if served > offered+1e-9 {
+		return fmt.Errorf("qos: served %v exceeds offered %v", served, offered)
+	}
+	t.seconds += dt
+	t.demand += offered * dt
+	t.served += served * dt
+	if offered-served > 1e-9 {
+		t.violationSeconds += dt
+	}
+	return nil
+}
+
+// Seconds returns the observed duration.
+func (t *Tracker) Seconds() float64 { return t.seconds }
+
+// ViolationSeconds returns the time during which demand exceeded capacity.
+func (t *Tracker) ViolationSeconds() float64 { return t.violationSeconds }
+
+// LostRequests returns the integral of unserved load (requests dropped by
+// the stateless web application when capacity was short).
+func (t *Tracker) LostRequests() float64 { return t.demand - t.served }
+
+// TotalRequests returns the integral of offered load.
+func (t *Tracker) TotalRequests() float64 { return t.demand }
+
+// Availability returns the served fraction of demand in [0, 1]; a run with
+// zero demand is fully available.
+func (t *Tracker) Availability() float64 {
+	if t.demand == 0 {
+		return 1
+	}
+	return t.served / t.demand
+}
+
+// ViolationRatio returns the violating fraction of observed time.
+func (t *Tracker) ViolationRatio() float64 {
+	if t.seconds == 0 {
+		return 0
+	}
+	return t.violationSeconds / t.seconds
+}
+
+// Merge folds another tracker's observations into t.
+func (t *Tracker) Merge(o *Tracker) {
+	t.seconds += o.seconds
+	t.violationSeconds += o.violationSeconds
+	t.demand += o.demand
+	t.served += o.served
+}
+
+// String summarizes the tracker.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("qos: availability=%.4f%% violations=%.0fs lost=%.0f requests",
+		t.Availability()*100, t.violationSeconds, t.LostRequests())
+}

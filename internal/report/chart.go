@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// ASCIIChart renders one or more series as a fixed-size terminal chart,
+// used by the cmd tools to visualize the figures without a plotting
+// dependency. Each series gets its own glyph; overlapping points show the
+// later series. The X axis is the sample index (series are resampled to
+// the chart width by taking each column's maximum, which preserves the
+// spikes that matter for provisioning plots).
+func ASCIIChart(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", title)
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	// Global Y range across all series.
+	maxY := 0.0
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			return fmt.Errorf("report: chart %q: series %q is empty", title, s.Name)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("report: chart %q: series %q has invalid values", title, s.Name)
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := glyphs[si%len(glyphs)]
+		for col := 0; col < width; col++ {
+			// Column ← maximum of the samples mapping to it.
+			lo := col * len(s.Values) / width
+			hi := (col + 1) * len(s.Values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if lo >= len(s.Values) {
+				continue
+			}
+			if hi > len(s.Values) {
+				hi = len(s.Values)
+			}
+			v := 0.0
+			for i := lo; i < hi; i++ {
+				if s.Values[i] > v {
+					v = s.Values[i]
+				}
+			}
+			row := int(math.Round(v / maxY * float64(height-1)))
+			if row > height-1 {
+				row = height - 1
+			}
+			grid[height-1-row][col] = glyph
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s (y max = %.4g)\n", title, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintln(w, strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestASCIIChartBasics(t *testing.T) {
+	var sb strings.Builder
+	err := ASCIIChart(&sb, "ramp", []Series{
+		{Name: "load", Values: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	}, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 6 rows + axis + legend
+	if len(lines) != 9 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "ramp") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "* load") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// A rising ramp puts a glyph in the top row near the right edge and in
+	// the bottom row near the left edge.
+	top, bottom := lines[1], lines[6]
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row empty: %q", top)
+	}
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Errorf("ramp orientation wrong:\ntop    %q\nbottom %q", top, bottom)
+	}
+}
+
+func TestASCIIChartMultiSeriesGlyphs(t *testing.T) {
+	var sb strings.Builder
+	err := ASCIIChart(&sb, "two", []Series{
+		{Name: "a", Values: []float64{1, 1, 1}},
+		{Name: "b", Values: []float64{5, 5, 5}},
+	}, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("distinct glyphs missing:\n%s", out)
+	}
+}
+
+func TestASCIIChartColumnMaxPreservesSpikes(t *testing.T) {
+	// 1000 samples, one spike; the downsampled chart must still show a
+	// full-height glyph somewhere.
+	vals := make([]float64, 1000)
+	vals[500] = 100
+	var sb strings.Builder
+	if err := ASCIIChart(&sb, "spike", []Series{{Name: "s", Values: vals}}, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("spike lost in downsampling:\n%s", sb.String())
+	}
+}
+
+func TestASCIIChartValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := ASCIIChart(&sb, "none", nil, 20, 5); err == nil {
+		t.Error("empty series list accepted")
+	}
+	if err := ASCIIChart(&sb, "empty", []Series{{Name: "x"}}, 20, 5); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := ASCIIChart(&sb, "nan", []Series{{Name: "x", Values: []float64{math.NaN()}}}, 20, 5); err == nil {
+		t.Error("NaN values accepted")
+	}
+}
+
+func TestASCIIChartAllZeros(t *testing.T) {
+	var sb strings.Builder
+	if err := ASCIIChart(&sb, "flat", []Series{{Name: "z", Values: []float64{0, 0, 0}}}, 12, 4); err != nil {
+		t.Fatalf("all-zero series rejected: %v", err)
+	}
+}
+
+func TestASCIIChartMinimumDimensions(t *testing.T) {
+	var sb strings.Builder
+	if err := ASCIIChart(&sb, "tiny", []Series{{Name: "t", Values: []float64{1}}}, 1, 1); err != nil {
+		t.Fatalf("dimension clamping failed: %v", err)
+	}
+	if len(sb.String()) == 0 {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,247 @@
+// Package report renders the paper's tables and figures as ASCII tables and
+// CSV series. Every experiment in EXPERIMENTS.md is regenerated through
+// these functions, so the output layout deliberately mirrors the paper:
+// Table I's column order, Figure 1/3's power-performance series, Figure 2's
+// crossing-point annotations, Figure 4's three curves, and Figure 5's daily
+// energy comparison.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bml"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/wc98"
+)
+
+// Table writes a generic aligned ASCII table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes a simple comma-separated series (no quoting; numeric content).
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableI renders the architecture profile table in the paper's layout.
+func TableI(w io.Writer, archs []profile.Arch) error {
+	headers := []string{"Architecture", "MaxPerf (reqs/s)", "Idle-Max Power (W)", "On_t (s)", "On_E (J)", "Off_t (s)", "Off_E (J)"}
+	rows := make([][]string, 0, len(archs))
+	for _, a := range archs {
+		rows = append(rows, []string{
+			a.Name,
+			fmt.Sprintf("%.0f", a.MaxPerf),
+			fmt.Sprintf("%.1f - %.1f", float64(a.IdlePower), float64(a.MaxPower)),
+			fmt.Sprintf("%.0f", a.OnDuration.Seconds()),
+			fmt.Sprintf("%.1f", float64(a.OnEnergy)),
+			fmt.Sprintf("%.0f", a.OffDuration.Seconds()),
+			fmt.Sprintf("%.1f", float64(a.OffEnergy)),
+		})
+	}
+	return Table(w, headers, rows)
+}
+
+// ProfileSeries writes the Figure 1/3 power-performance series: for each
+// architecture, the homogeneous fleet power at every sampled rate (the
+// profile "repeated to picture multiple nodes" beyond one node's maximum).
+func ProfileSeries(w io.Writer, archs []profile.Arch, maxRate float64, points int) error {
+	if points < 2 {
+		points = 2
+	}
+	headers := make([]string, 0, len(archs)+1)
+	headers = append(headers, "rate")
+	for _, a := range archs {
+		headers = append(headers, a.Name+"_W")
+	}
+	rows := make([][]string, 0, points+1)
+	for i := 0; i <= points; i++ {
+		rate := maxRate * float64(i) / float64(points)
+		row := make([]string, 0, len(archs)+1)
+		row = append(row, fmt.Sprintf("%.1f", rate))
+		for _, a := range archs {
+			row = append(row, fmt.Sprintf("%.2f", float64(a.FleetPowerAt(rate))))
+		}
+		rows = append(rows, row)
+	}
+	return CSV(w, headers, rows)
+}
+
+// Removals writes the Step 2/3 filtering audit (the Figure 1 narrative:
+// which architectures were discarded and why).
+func Removals(w io.Writer, removals []bml.Removal) error {
+	if len(removals) == 0 {
+		_, err := fmt.Fprintln(w, "no architectures removed")
+		return err
+	}
+	for _, r := range removals {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Thresholds writes the Figure 2 crossing-point table for one threshold
+// mode, with Big/Medium/Little role labels.
+func Thresholds(w io.Writer, ths []bml.Threshold, roles map[string]string, mode bml.ThresholdMode) error {
+	if _, err := fmt.Fprintf(w, "minimum utilization thresholds, %s:\n", mode); err != nil {
+		return err
+	}
+	headers := []string{"Role", "Architecture", "Threshold (reqs/s)", "Crossing"}
+	rows := make([][]string, 0, len(ths))
+	for _, th := range ths {
+		crossing := "profile crossing"
+		if !th.Crossed {
+			crossing = "defaulted to next class's max perf"
+		}
+		rows = append(rows, []string{
+			roles[th.Arch.Name], th.Arch.Name, fmt.Sprintf("%.0f", th.Rate), crossing,
+		})
+	}
+	return Table(w, headers, rows)
+}
+
+// Fig4Series writes the Figure 4 comparison: ideal BML combination power,
+// Big-only fleet power, and the BML-linear reference, from rate 0 to Big's
+// max performance.
+func Fig4Series(w io.Writer, planner *bml.Planner, points int) error {
+	if points < 2 {
+		points = 2
+	}
+	big := planner.Big()
+	lin := planner.BMLLinear()
+	headers := []string{"rate", "bml_W", "big_W", "bml_linear_W"}
+	rows := make([][]string, 0, points+1)
+	for i := 0; i <= points; i++ {
+		rate := big.MaxPerf * float64(i) / float64(points)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", rate),
+			fmt.Sprintf("%.2f", float64(planner.PowerAt(rate))),
+			fmt.Sprintf("%.2f", float64(big.FleetPowerAt(rate))),
+			fmt.Sprintf("%.2f", float64(lin.PowerAt(rate))),
+		})
+	}
+	return CSV(w, headers, rows)
+}
+
+// CombinationTable writes the per-rate ideal combinations over a range —
+// the final-step output developers inspect to understand a catalog.
+func CombinationTable(w io.Writer, planner *bml.Planner, rates []float64) error {
+	headers := []string{"rate", "combination", "power_W"}
+	rows := make([][]string, 0, len(rates))
+	for _, r := range rates {
+		c := planner.Combination(r)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", r),
+			c.String(),
+			fmt.Sprintf("%.2f", float64(c.Power())),
+		})
+	}
+	return Table(w, headers, rows)
+}
+
+// Fig5Table writes the daily energy comparison of the four scenarios in
+// kWh, one row per day, followed by the overhead summary line.
+func Fig5Table(w io.Writer, ev *wc98.Evaluation) error {
+	headers := []string{"day", "UBGlobal_kWh", "UBPerDay_kWh", "BML_kWh", "LowerBound_kWh", "BML_vs_LB"}
+	rows := make([][]string, 0, len(ev.Rows))
+	for _, r := range ev.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Day),
+			fmt.Sprintf("%.2f", r.UBGlobal.KilowattHours()),
+			fmt.Sprintf("%.2f", r.UBPerDay.KilowattHours()),
+			fmt.Sprintf("%.2f", r.BML.KilowattHours()),
+			fmt.Sprintf("%.2f", r.LowerBound.KilowattHours()),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct()),
+		})
+	}
+	if err := Table(w, headers, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, ev.Summary.String())
+	return err
+}
+
+// Fig5CSV writes the same comparison as a CSV series for plotting.
+func Fig5CSV(w io.Writer, ev *wc98.Evaluation) error {
+	headers := []string{"day", "ub_global_J", "ub_perday_J", "bml_J", "lower_bound_J", "overhead_pct"}
+	rows := make([][]string, 0, len(ev.Rows))
+	for _, r := range ev.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Day),
+			fmt.Sprintf("%.0f", float64(r.UBGlobal)),
+			fmt.Sprintf("%.0f", float64(r.UBPerDay)),
+			fmt.Sprintf("%.0f", float64(r.BML)),
+			fmt.Sprintf("%.0f", float64(r.LowerBound)),
+			fmt.Sprintf("%.3f", r.OverheadPct()),
+		})
+	}
+	return CSV(w, headers, rows)
+}
+
+// Proportionality writes the IPR/LDR/gap metrics for a sampled power curve.
+func Proportionality(w io.Writer, name string, curve []power.CurvePoint) error {
+	ipr, err := power.IPR(curve)
+	if err != nil {
+		return err
+	}
+	ldr, err := power.LDR(curve)
+	if err != nil {
+		return err
+	}
+	gap, err := power.ProportionalityGap(curve)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s: IPR=%.3f LDR=%+.3f proportionality-gap=%+.3f\n", name, ipr, ldr, gap)
+	return err
+}

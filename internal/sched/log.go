@@ -1,0 +1,52 @@
+package sched
+
+// Decision is one entry of the scheduler's decision log: what was
+// predicted, what the target combination was, and how many switch actions
+// the decision started. The log is the artifact an operator inspects to
+// understand why the fleet changed shape.
+type Decision struct {
+	// Time is the simulation second the decision was taken at.
+	Time int
+	// Predicted is the (headroom-scaled) load forecast that drove the
+	// decision.
+	Predicted float64
+	// Target is the decided node-count map (per architecture name).
+	Target map[string]int
+	// SwitchOns and SwitchOffs are the actions started by the decision's
+	// grow phase (the deferred retire phase is attributed to the same
+	// decision when it executes).
+	SwitchOns  int
+	SwitchOffs int
+}
+
+// defaultLogCap bounds the in-memory decision log; old entries are dropped
+// FIFO beyond it.
+const defaultLogCap = 4096
+
+// recordDecision appends to the bounded log.
+func (s *Scheduler) recordDecision(d Decision) {
+	if s.logCap == 0 {
+		return
+	}
+	if len(s.log) >= s.logCap {
+		// Drop the oldest half rather than shifting one-by-one each call.
+		keep := s.logCap / 2
+		copy(s.log, s.log[len(s.log)-keep:])
+		s.log = s.log[:keep]
+	}
+	s.log = append(s.log, d)
+}
+
+// DecisionLog returns a copy of the retained decisions, oldest first.
+func (s *Scheduler) DecisionLog() []Decision {
+	out := make([]Decision, len(s.log))
+	for i, d := range s.log {
+		cp := d
+		cp.Target = make(map[string]int, len(d.Target))
+		for k, v := range d.Target {
+			cp.Target[k] = v
+		}
+		out[i] = cp
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestBreakdownSumsToTotalBML(t *testing.T) {
+	tr := dayTrace(t, 1, 250)
+	res, err := RunBML(tr, fastPlanner(t), BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(float64(res.Breakdown.Total() - res.TotalEnergy)); diff > 1e-6 {
+		t.Errorf("breakdown total %v != energy %v", res.Breakdown.Total(), res.TotalEnergy)
+	}
+	if res.Breakdown.Transition <= 0 {
+		t.Error("no transition energy despite reconfigurations")
+	}
+	if res.Breakdown.Idle <= 0 || res.Breakdown.Dynamic <= 0 {
+		t.Errorf("degenerate breakdown: %v", res.Breakdown)
+	}
+}
+
+func TestBreakdownUpperBoundIdleDominated(t *testing.T) {
+	// The over-provisioned data center on a mostly idle trace: idle energy
+	// dominates — the paper's "static costs" claim, quantified.
+	vals := mkConst(4*3600, 10) // trickle load on a big machine
+	vals[0] = 250               // forces a 3-machine global sizing
+	tr := shortTrace(t, vals)
+	res, err := RunUpperBoundGlobal(tr, fastArchs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(float64(res.Breakdown.Total() - res.TotalEnergy)); diff > 1e-6 {
+		t.Errorf("breakdown total %v != energy %v", res.Breakdown.Total(), res.TotalEnergy)
+	}
+	if share := res.Breakdown.IdleShare(); share < 0.8 {
+		t.Errorf("idle share = %v, want idle-dominated (> 0.8)", share)
+	}
+	if res.Breakdown.Transition != 0 {
+		t.Error("static scenario charged transition energy")
+	}
+}
+
+func TestBMLIdleShareBelowUpperBound(t *testing.T) {
+	// Energy proportionality in one number: BML's idle share must be far
+	// below the over-provisioned design's on the same trace.
+	tr := dayTrace(t, 1, 250)
+	planner := fastPlanner(t)
+	bmlRes, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ubRes, err := RunUpperBoundGlobal(tr, planner.Big())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bmlRes.Breakdown.IdleShare() >= ubRes.Breakdown.IdleShare() {
+		t.Errorf("BML idle share %v not below UB's %v",
+			bmlRes.Breakdown.IdleShare(), ubRes.Breakdown.IdleShare())
+	}
+}
+
+func TestBootFaultsSchedulerConverges(t *testing.T) {
+	// 20% of boots fail; the scheduler must still converge to serving the
+	// load, paying extra transition energy for the retries. The diurnal
+	// trace triggers hundreds of boots, so failures certainly occur.
+	tr := dayTrace(t, 1, 250)
+	planner := fastPlanner(t)
+	faulty, err := RunBML(tr, planner, BMLConfig{BootFaultProb: 0.2, FaultSeed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Despite failures, nearly all requests are eventually served (the
+	// failed boots delay ramp-up at the start).
+	if av := faulty.QoS.Availability(); av < 0.97 {
+		t.Errorf("availability under faults = %v", av)
+	}
+	// Retries cost switch-ons and transition energy.
+	if faulty.SwitchOns <= clean.SwitchOns {
+		t.Errorf("no boot retries recorded: faulty=%d clean=%d", faulty.SwitchOns, clean.SwitchOns)
+	}
+	if faulty.Breakdown.Transition <= clean.Breakdown.Transition {
+		t.Errorf("failed boots did not increase transition energy: %v vs %v",
+			faulty.Breakdown.Transition, clean.Breakdown.Transition)
+	}
+}
+
+func TestBootFaultsDeterministic(t *testing.T) {
+	tr := shortTrace(t, mkConst(1200, 150))
+	planner := fastPlanner(t)
+	a, err := RunBML(tr, planner, BMLConfig{BootFaultProb: 0.3, FaultSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBML(tr, planner, BMLConfig{BootFaultProb: 0.3, FaultSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy != b.TotalEnergy || a.SwitchOns != b.SwitchOns {
+		t.Error("fault injection not deterministic under a fixed seed")
+	}
+	// Some seed among a small set must produce a different failure pattern
+	// (a single alternative seed may coincidentally match on few boots).
+	differs := false
+	for seed := int64(6); seed < 16 && !differs; seed++ {
+		c, err := RunBML(tr, planner, BMLConfig{BootFaultProb: 0.3, FaultSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TotalEnergy != c.TotalEnergy || a.SwitchOns != c.SwitchOns {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("ten different fault seeds all produced identical runs")
+	}
+}
+
+func TestBootFaultProbClamped(t *testing.T) {
+	tr := shortTrace(t, mkConst(600, 50))
+	planner := fastPlanner(t)
+	// Probability 1 makes every boot fail: with the clamp in place the run
+	// must not error, and nothing is ever served by big machines.
+	res, err := RunBML(tr, planner, BMLConfig{BootFaultProb: 5, FaultSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoS.Availability() > 0.1 {
+		t.Errorf("availability = %v with every boot failing", res.QoS.Availability())
+	}
+	if res.Breakdown.Transition != res.Breakdown.Total() {
+		t.Errorf("all energy should be transition energy: %v", res.Breakdown)
+	}
+	_ = power.Breakdown{}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/bml"
+	"repro/internal/trace"
+)
+
+// ScenarioSet bundles the four §V-C scenario results of one evaluation.
+type ScenarioSet struct {
+	UpperBoundGlobal *Result
+	UpperBoundPerDay *Result
+	BML              *Result
+	LowerBound       *Result
+}
+
+// RunAll executes all four scenarios concurrently — each is independent,
+// so the evaluation's wall time drops to the slowest scenario (the BML
+// run). It returns the first error encountered.
+func RunAll(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*ScenarioSet, error) {
+	if tr == nil || planner == nil {
+		return nil, errors.New("sim: nil trace or planner")
+	}
+	var (
+		set  ScenarioSet
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	record := func(err error) {
+		if err != nil {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		}
+	}
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		r, err := RunUpperBoundGlobal(tr, planner.Big())
+		set.UpperBoundGlobal = r
+		record(err)
+	}()
+	go func() {
+		defer wg.Done()
+		r, err := RunUpperBoundPerDay(tr, planner.Big())
+		set.UpperBoundPerDay = r
+		record(err)
+	}()
+	go func() {
+		defer wg.Done()
+		r, err := RunBML(tr, planner, cfg)
+		set.BML = r
+		record(err)
+	}()
+	go func() {
+		defer wg.Done()
+		r, err := RunLowerBound(tr, planner.Candidates())
+		set.LowerBound = r
+		record(err)
+	}()
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return &set, nil
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/trace"
+)
+
+func TestRunAllMatchesSequentialRuns(t *testing.T) {
+	tr := dayTrace(t, 1, 250)
+	planner := fastPlanner(t)
+	set, err := RunAll(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqBML, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqLB, err := RunLowerBound(tr, planner.Candidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.BML.TotalEnergy != seqBML.TotalEnergy {
+		t.Errorf("parallel BML %v != sequential %v", set.BML.TotalEnergy, seqBML.TotalEnergy)
+	}
+	if set.LowerBound.TotalEnergy != seqLB.TotalEnergy {
+		t.Errorf("parallel LB %v != sequential %v", set.LowerBound.TotalEnergy, seqLB.TotalEnergy)
+	}
+	if set.UpperBoundGlobal == nil || set.UpperBoundPerDay == nil {
+		t.Error("missing scenario results")
+	}
+}
+
+func TestRunAllValidation(t *testing.T) {
+	if _, err := RunAll(nil, fastPlanner(t), BMLConfig{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	tr := dayTrace(t, 1, 100)
+	if _, err := RunAll(tr, nil, BMLConfig{}); err == nil {
+		t.Error("nil planner accepted")
+	}
+}
+
+func TestRunBMLOverheadAwareReducesDecisions(t *testing.T) {
+	// A noisy flat load around the big/little crossover provokes flapping;
+	// the overhead-aware policy must cut decisions without hurting energy
+	// catastrophically.
+	vals := make([]float64, 4*3600)
+	for i := range vals {
+		base := 95.0
+		if (i/40)%2 == 1 {
+			base = 101
+		}
+		vals[i] = base
+	}
+	tr := shortTrace(t, vals)
+	planner := fastPlanner(t)
+	plain, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 s horizon: the ~2 W saving of dropping the little node (10 J)
+	// cannot amortize its 17 J switch round trip.
+	aware, err := RunBML(tr, planner, BMLConfig{OverheadAware: true, AmortizeSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Skipped == 0 {
+		t.Error("overhead-aware run skipped nothing on a flapping load")
+	}
+	if aware.Decisions >= plain.Decisions {
+		t.Errorf("decisions not reduced: %d vs %d", aware.Decisions, plain.Decisions)
+	}
+	if float64(aware.TotalEnergy) > float64(plain.TotalEnergy)*1.1 {
+		t.Errorf("overhead-aware energy %v far above plain %v", aware.TotalEnergy, plain.TotalEnergy)
+	}
+}
+
+func TestRunBMLWithAppSpec(t *testing.T) {
+	tr := dayTrace(t, 1, 250)
+	planner := fastPlanner(t)
+	spec := app.StatelessWebServer()
+	spec.Migration.Energy = 25
+	spec.Migration.Duration = 2 * time.Second
+	res, err := RunBML(tr, planner, BMLConfig{App: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigrationEnergy == 0 {
+		t.Error("no migration energy charged over a diurnal day")
+	}
+	if math.Mod(float64(res.MigrationEnergy), 25) != 0 {
+		t.Errorf("migration energy %v not a multiple of per-instance cost", res.MigrationEnergy)
+	}
+	// Migration energy is part of the total.
+	plain, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.TotalEnergy) <= float64(plain.TotalEnergy) {
+		t.Errorf("migration overhead missing from total: %v vs %v", res.TotalEnergy, plain.TotalEnergy)
+	}
+}
+
+func TestRunBMLCriticalAppGetsHeadroom(t *testing.T) {
+	tr := dayTrace(t, 1, 250)
+	planner := fastPlanner(t)
+	critical := app.StatelessWebServer()
+	critical.Class = app.Critical
+	res, err := RunBML(tr, planner, BMLConfig{App: &critical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.TotalEnergy) <= float64(plain.TotalEnergy) {
+		t.Errorf("critical headroom did not increase provisioning: %v vs %v",
+			res.TotalEnergy, plain.TotalEnergy)
+	}
+	if res.QoS.Availability() < plain.QoS.Availability()-1e-9 {
+		t.Error("critical class reduced availability")
+	}
+}
+
+func TestRunBMLRecorded(t *testing.T) {
+	tr := dayTrace(t, 1, 250)
+	rec, err := RunBMLRecorded(tr, fastPlanner(t), BMLConfig{}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBuckets := trace.SecondsPerDay / 600
+	if len(rec.Load) != wantBuckets || len(rec.Power) != wantBuckets || len(rec.StaticPower) != wantBuckets {
+		t.Fatalf("bucket counts = %d/%d/%d, want %d", len(rec.Load), len(rec.Power), len(rec.StaticPower), wantBuckets)
+	}
+	// The recorded aggregate matches a plain run.
+	plain, err := RunBML(tr, fastPlanner(t), BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result.TotalEnergy != plain.TotalEnergy {
+		t.Errorf("recorded total %v != plain %v", rec.Result.TotalEnergy, plain.TotalEnergy)
+	}
+	// Mean recorded power × duration reproduces the total energy.
+	var sum float64
+	for _, p := range rec.Power {
+		sum += p * 600
+	}
+	if math.Abs(sum-float64(rec.Result.TotalEnergy)) > 1e-6 {
+		t.Errorf("bucketed power integrates to %v, want %v", sum, rec.Result.TotalEnergy)
+	}
+	// Proportionality: power correlates with load across buckets (noon
+	// bucket draws more than the midnight bucket).
+	if rec.Power[len(rec.Power)/2] <= rec.Power[0] {
+		t.Errorf("noon power %v not above midnight power %v", rec.Power[len(rec.Power)/2], rec.Power[0])
+	}
+	// The static reference never drops below its idle floor.
+	idleFloor := float64(fastPlanner(t).Big().IdlePower)
+	for i, p := range rec.StaticPower {
+		if p < idleFloor {
+			t.Fatalf("static power %v below one machine's idle at bucket %d", p, i)
+		}
+	}
+}
+
+func TestRunBMLRecordedValidation(t *testing.T) {
+	tr := dayTrace(t, 1, 100)
+	if _, err := RunBMLRecorded(nil, fastPlanner(t), BMLConfig{}, 60); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := RunBMLRecorded(tr, nil, BMLConfig{}, 60); err == nil {
+		t.Error("nil planner accepted")
+	}
+	if _, err := RunBMLRecorded(tr, fastPlanner(t), BMLConfig{}, 0); err == nil {
+		t.Error("zero bucket width accepted")
+	}
+}
+
+func TestRunBMLRecordedPartialLastBucket(t *testing.T) {
+	tr := shortTrace(t, mkConst(1000, 50))
+	rec, err := RunBMLRecorded(tr, fastPlanner(t), BMLConfig{}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Load) != 4 { // 300+300+300+100
+		t.Fatalf("buckets = %d, want 4", len(rec.Load))
+	}
+	if math.Abs(rec.Load[3]-50) > 1e-9 {
+		t.Errorf("partial bucket mean = %v, want 50", rec.Load[3])
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bml"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Recording is the per-second telemetry of a BML run, downsampled into
+// fixed-width buckets: the offered load and the fleet's power draw, plus
+// the always-on reference fleet's draw serving the same load. It is the
+// data behind the "power tracks load" proportionality plots.
+type Recording struct {
+	// BucketSeconds is the downsampling width.
+	BucketSeconds int
+	// Load is the mean offered load per bucket (requests/s).
+	Load []float64
+	// Power is the mean BML fleet draw per bucket (Watts), including
+	// transition power.
+	Power []float64
+	// StaticPower is the mean draw of the UpperBound Global fleet serving
+	// the same load, for contrast.
+	StaticPower []float64
+	// Result carries the run's aggregate outcome.
+	Result *Result
+}
+
+// RunBMLRecorded is RunBML with per-bucket telemetry. One sample per
+// simulated second is folded into each bucket by averaging; the final
+// bucket may cover fewer seconds.
+func RunBMLRecorded(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, bucketSeconds int) (*Recording, error) {
+	if tr == nil || planner == nil {
+		return nil, errors.New("sim: nil trace or planner")
+	}
+	if bucketSeconds <= 0 {
+		return nil, fmt.Errorf("sim: invalid bucket width %d", bucketSeconds)
+	}
+	// Static reference sizing, as in RunUpperBoundGlobal.
+	big := planner.Big()
+	nStatic := big.NodesFor(tr.Max())
+	if nStatic == 0 {
+		nStatic = 1
+	}
+
+	sc, cl, err := buildBMLRig(tr, planner, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buckets := (tr.Len() + bucketSeconds - 1) / bucketSeconds
+	rec := &Recording{
+		BucketSeconds: bucketSeconds,
+		Load:          make([]float64, buckets),
+		Power:         make([]float64, buckets),
+		StaticPower:   make([]float64, buckets),
+	}
+	counts := make([]int, buckets)
+	res := &Result{Name: "Big-Medium-Little", DailyEnergy: make([]power.Joules, tr.Days())}
+	for t := 0; t < tr.Len(); t++ {
+		demand := tr.At(t)
+		rep, err := sc.Step(t, demand, 1)
+		if err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", t, err)
+		}
+		res.addEnergy(t, rep.Energy)
+		if err := res.QoS.Observe(demand, rep.Served, 1); err != nil {
+			return nil, err
+		}
+		b := t / bucketSeconds
+		rec.Load[b] += demand
+		// One second at constant draw: Joules numerically equal Watts.
+		rec.Power[b] += float64(rep.Energy)
+		rec.StaticPower[b] += fleetPowerN(big, nStatic, demand)
+		counts[b]++
+	}
+	for b := range counts {
+		if counts[b] > 0 {
+			rec.Load[b] /= float64(counts[b])
+			rec.Power[b] /= float64(counts[b])
+			rec.StaticPower[b] /= float64(counts[b])
+		}
+	}
+	res.Decisions = sc.Decisions()
+	res.SwitchOns = sc.SwitchOns()
+	res.SwitchOffs = sc.SwitchOffs()
+	res.Skipped = sc.Skipped()
+	res.MigrationEnergy = sc.MigrationEnergy()
+	res.Breakdown = cl.Breakdown()
+	res.Breakdown.Transition += res.MigrationEnergy
+	rec.Result = res
+	return rec, nil
+}

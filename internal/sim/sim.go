@@ -1,0 +1,291 @@
+// Package sim is the discrete-time (1 Hz) simulator behind the paper's
+// evaluation. It replays a load trace against four scenarios:
+//
+//   - UpperBound Global: a homogeneous data center sized once for the
+//     global peak (4 Big machines for the paper's trace), always on — the
+//     classical over-provisioned design;
+//   - UpperBound PerDay: a homogeneous data center re-dimensioned each day
+//     for that day's peak — coarse-grain capacity planning;
+//   - BML: the heterogeneous infrastructure driven by the proactive
+//     reconfiguration scheduler, including On/Off time and energy
+//     overheads;
+//   - LowerBound Theoretical: the unreachable bound where the ideal
+//     combination is re-established every second at zero switching cost.
+//
+// Results report total and per-day energy (the series of Figure 5) plus
+// QoS and reconfiguration statistics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/app"
+	"repro/internal/bml"
+	"repro/internal/cluster"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/qos"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Name identifies the scenario.
+	Name string
+	// DailyEnergy holds the energy of each complete day (index 0 = day 1).
+	DailyEnergy []power.Joules
+	// TotalEnergy is the energy over the whole trace, including any
+	// trailing partial day.
+	TotalEnergy power.Joules
+	// QoS aggregates served-versus-offered statistics.
+	QoS qos.Tracker
+	// Decisions, SwitchOns, SwitchOffs describe scheduler activity (zero
+	// for the static scenarios). Skipped counts reconfigurations rejected
+	// by the overhead-aware policy; MigrationEnergy is the application-
+	// level migration overhead charged (both zero unless enabled).
+	Decisions       int
+	SwitchOns       int
+	SwitchOffs      int
+	Skipped         int
+	MigrationEnergy power.Joules
+	// Breakdown splits the energy into transition/idle/dynamic components
+	// (zero-valued for the LowerBound scenario, whose solver reports only
+	// total optimal power).
+	Breakdown power.Breakdown
+}
+
+// addEnergy accumulates e into the run totals, crediting the day that
+// second t belongs to.
+func (r *Result) addEnergy(t int, e power.Joules) {
+	r.TotalEnergy += e
+	if d := t / trace.SecondsPerDay; d < len(r.DailyEnergy) {
+		r.DailyEnergy[d] += e
+	}
+}
+
+// BMLConfig parameterizes the BML scenario.
+type BMLConfig struct {
+	// WindowFactor sizes the look-ahead window as a multiple of the
+	// longest On duration; the paper uses 2. Zero means 2.
+	WindowFactor float64
+	// Predictor overrides the paper's look-ahead-max predictor when
+	// non-nil (used by the prediction ablations).
+	Predictor predict.Predictor
+	// Headroom scales predictions (>= 1); zero means 1 (or the
+	// application class default when App is set).
+	Headroom float64
+	// Inventory optionally caps machines per architecture.
+	Inventory map[string]int
+	// App optionally supplies the §III application characterization
+	// (malleability bounds, migration overheads, class headroom).
+	App *app.Spec
+	// BootFaultProb injects boot failures with this probability (0 = none):
+	// a failed boot consumes its full energy but lands back in Off, and the
+	// scheduler must converge anyway.
+	BootFaultProb float64
+	// FaultSeed makes boot-fault injection deterministic.
+	FaultSeed int64
+	// OverheadAware enables the future-work amortization policy on
+	// reconfiguration decisions.
+	OverheadAware bool
+	// AmortizeSeconds is the amortization horizon (0 = 378 s).
+	AmortizeSeconds float64
+}
+
+// buildBMLRig assembles the scheduler and cluster for a BML run.
+func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.Scheduler, *cluster.Cluster, error) {
+	wf := cfg.WindowFactor
+	if wf == 0 {
+		wf = sched.DefaultWindowFactor
+	}
+	window, err := sched.Window(planner.Candidates(), wf)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred, err = predict.NewLookaheadMax(tr, window)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	headroom := cfg.Headroom
+	if headroom == 0 {
+		if cfg.App != nil {
+			headroom = cfg.App.EffectiveHeadroom()
+		} else {
+			headroom = 1
+		}
+	}
+	table := planner.Table(tr.Max() * headroom)
+	var clOpts []cluster.Option
+	if cfg.Inventory != nil {
+		clOpts = append(clOpts, cluster.WithInventory(cfg.Inventory))
+	}
+	if cfg.BootFaultProb > 0 {
+		clOpts = append(clOpts, cluster.WithBootFaults(cfg.BootFaultProb, cfg.FaultSeed))
+	}
+	cl, err := cluster.New(planner.Candidates(), clOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := sched.New(sched.Config{
+		Table:           table,
+		Predictor:       pred,
+		Cluster:         cl,
+		Headroom:        headroom,
+		App:             cfg.App,
+		OverheadAware:   cfg.OverheadAware,
+		AmortizeSeconds: cfg.AmortizeSeconds,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc, cl, nil
+}
+
+// RunBML simulates the heterogeneous infrastructure under the proactive
+// scheduler over tr, using the planner's candidate classes and combination
+// table.
+func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*Result, error) {
+	if tr == nil || planner == nil {
+		return nil, errors.New("sim: nil trace or planner")
+	}
+	sc, cl, err := buildBMLRig(tr, planner, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Name: "Big-Medium-Little", DailyEnergy: make([]power.Joules, tr.Days())}
+	for t := 0; t < tr.Len(); t++ {
+		demand := tr.At(t)
+		rep, err := sc.Step(t, demand, 1)
+		if err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", t, err)
+		}
+		res.addEnergy(t, rep.Energy)
+		if err := res.QoS.Observe(demand, rep.Served, 1); err != nil {
+			return nil, err
+		}
+	}
+	res.Decisions = sc.Decisions()
+	res.SwitchOns = sc.SwitchOns()
+	res.SwitchOffs = sc.SwitchOffs()
+	res.Skipped = sc.Skipped()
+	res.MigrationEnergy = sc.MigrationEnergy()
+	res.Breakdown = cl.Breakdown()
+	res.Breakdown.Transition += res.MigrationEnergy
+	return res, nil
+}
+
+// RunUpperBoundGlobal simulates the over-provisioned homogeneous data
+// center: n = ceil(globalPeak / big.MaxPerf) machines of the Big class,
+// always on, load packed onto as few nodes as possible.
+func RunUpperBoundGlobal(tr *trace.Trace, big profile.Arch) (*Result, error) {
+	if tr == nil {
+		return nil, errors.New("sim: nil trace")
+	}
+	if err := big.Validate(); err != nil {
+		return nil, err
+	}
+	n := big.NodesFor(tr.Max())
+	if n == 0 {
+		n = 1 // even an idle data center keeps one machine
+	}
+	return runHomogeneousStatic(tr, big, func(int) int { return n }, "UpperBound Global")
+}
+
+// RunUpperBoundPerDay simulates coarse-grain capacity planning: each day
+// runs ceil(dayPeak / big.MaxPerf) always-on Big machines. Transition
+// costs between days are not charged, which only makes this upper bound
+// more favorable.
+func RunUpperBoundPerDay(tr *trace.Trace, big profile.Arch) (*Result, error) {
+	if tr == nil {
+		return nil, errors.New("sim: nil trace")
+	}
+	if err := big.Validate(); err != nil {
+		return nil, err
+	}
+	peaks := tr.DailyPeaks()
+	perDay := func(day int) int {
+		n := 1
+		if day < len(peaks) {
+			if k := big.NodesFor(peaks[day]); k > n {
+				n = k
+			}
+		} else if len(peaks) > 0 {
+			// Trailing partial day reuses the last complete day's sizing.
+			if k := big.NodesFor(peaks[len(peaks)-1]); k > n {
+				n = k
+			}
+		}
+		return n
+	}
+	return runHomogeneousStatic(tr, big, perDay, "UpperBound PerDay")
+}
+
+// runHomogeneousStatic integrates a homogeneous fleet whose size is a
+// per-day constant. Load is packed fill-first; shortfall (possible only on
+// the trailing partial-day fallback) is recorded as QoS loss.
+func runHomogeneousStatic(tr *trace.Trace, arch profile.Arch, sizeForDay func(day int) int, name string) (*Result, error) {
+	res := &Result{Name: name, DailyEnergy: make([]power.Joules, tr.Days())}
+	for t := 0; t < tr.Len(); t++ {
+		day := t / trace.SecondsPerDay
+		n := sizeForDay(day)
+		demand := tr.At(t)
+		served := math.Min(demand, float64(n)*arch.MaxPerf)
+		total := fleetPowerN(arch, n, served)
+		idle := float64(n) * float64(arch.IdlePower)
+		res.Breakdown.Idle += power.Joules(idle)
+		res.Breakdown.Dynamic += power.Joules(total - idle)
+		res.addEnergy(t, power.Joules(total))
+		if err := res.QoS.Observe(demand, served, 1); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// fleetPowerN returns the draw of n always-on nodes of arch serving load
+// packed onto as few nodes as possible; unused nodes idle.
+func fleetPowerN(arch profile.Arch, n int, load float64) float64 {
+	full := int(load / arch.MaxPerf)
+	if full > n {
+		full = n
+	}
+	rem := load - float64(full)*arch.MaxPerf
+	p := float64(full) * float64(arch.MaxPower)
+	used := full
+	if rem > 1e-12 && used < n {
+		p += float64(arch.PowerAt(rem))
+		used++
+	}
+	p += float64(n-used) * float64(arch.IdlePower)
+	return p
+}
+
+// RunLowerBound integrates the theoretical minimum: every second the ideal
+// (exact) combination for the instantaneous load, with no switching latency
+// or energy — the unreachable bound of Figure 5.
+func RunLowerBound(tr *trace.Trace, candidates []profile.Arch) (*Result, error) {
+	if tr == nil {
+		return nil, errors.New("sim: nil trace")
+	}
+	solver, err := bml.NewExactSolver(candidates, tr.Max(), 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: "LowerBound Theoretical", DailyEnergy: make([]power.Joules, tr.Days())}
+	for t := 0; t < tr.Len(); t++ {
+		demand := tr.At(t)
+		res.addEnergy(t, power.Joules(float64(solver.PowerAt(demand))))
+		if err := res.QoS.Observe(demand, demand, 1); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func clfLine(ts string) string {
+	return `host - - [` + ts + `] "GET /index.html HTTP/1.0" 200 1043`
+}
+
+func TestFromAccessLogCountsPerSecond(t *testing.T) {
+	log := strings.Join([]string{
+		clfLine("01/Jul/1998:12:00:00 +0000"),
+		clfLine("01/Jul/1998:12:00:00 +0000"),
+		clfLine("01/Jul/1998:12:00:01 +0000"),
+		clfLine("01/Jul/1998:12:00:03 +0000"),
+	}, "\n")
+	tr, skipped, err := FromAccessLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	want := []float64{2, 1, 0, 1}
+	if tr.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(want))
+	}
+	for i, w := range want {
+		if tr.At(i) != w {
+			t.Errorf("second %d = %v, want %v", i, tr.At(i), w)
+		}
+	}
+}
+
+func TestFromAccessLogOutOfOrderTimestamps(t *testing.T) {
+	log := strings.Join([]string{
+		clfLine("01/Jul/1998:12:00:05 +0000"),
+		clfLine("01/Jul/1998:12:00:02 +0000"),
+		clfLine("01/Jul/1998:12:00:05 +0000"),
+	}, "\n")
+	tr, _, err := FromAccessLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 { // seconds 2..5
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.At(0) != 1 || tr.At(3) != 2 {
+		t.Errorf("values = %v", tr.Values())
+	}
+}
+
+func TestFromAccessLogSkipsGarbage(t *testing.T) {
+	log := strings.Join([]string{
+		"complete garbage line",
+		clfLine("01/Jul/1998:12:00:00 +0000"),
+		`host - - [not a timestamp] "GET /" 200 1`,
+		"",
+	}, "\n")
+	tr, skipped, err := FromAccessLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (blank lines don't count)", skipped)
+	}
+	if tr.Len() != 1 || tr.At(0) != 1 {
+		t.Errorf("trace = %v", tr.Values())
+	}
+}
+
+func TestFromAccessLogTimezoneNormalization(t *testing.T) {
+	// The same instant written in two zones lands in one bucket.
+	log := strings.Join([]string{
+		clfLine("01/Jul/1998:12:00:00 +0000"),
+		clfLine("01/Jul/1998:14:00:00 +0200"),
+	}, "\n")
+	tr, _, err := FromAccessLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.At(0) != 2 {
+		t.Errorf("timezone normalization broken: %v", tr.Values())
+	}
+}
+
+func TestFromAccessLogEmpty(t *testing.T) {
+	if _, _, err := FromAccessLog(strings.NewReader("junk\n")); err == nil {
+		t.Error("log with no parsable requests accepted")
+	}
+	if _, _, err := FromAccessLog(strings.NewReader("")); err == nil {
+		t.Error("empty log accepted")
+	}
+}
+
+func TestFromAccessLogRejectsHugeSpan(t *testing.T) {
+	log := strings.Join([]string{
+		clfLine("01/Jul/1998:12:00:00 +0000"),
+		clfLine("01/Jul/2008:12:00:00 +0000"), // ten years later
+	}, "\n")
+	if _, _, err := FromAccessLog(strings.NewReader(log)); err == nil {
+		t.Error("decade-long span accepted (would allocate tens of GB)")
+	}
+}

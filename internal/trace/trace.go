@@ -1,0 +1,248 @@
+// Package trace models application load traces: time series of the
+// application performance metric (requests/s in the paper) sampled on a
+// fixed grid. It provides trace construction and validation, CSV
+// import/export, slicing and per-day utilities, summary statistics, an O(n)
+// sliding-window maximum (the paper's look-ahead prediction primitive), and
+// a synthetic generator shaped like the 1998 World Cup access logs the
+// paper's evaluation replays (days 6–92).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SecondsPerDay is the number of samples per day at 1 Hz.
+const SecondsPerDay = 86400
+
+// Trace is a load time series sampled once per second. Values are in
+// application-metric units and must be finite and non-negative.
+type Trace struct {
+	values []float64
+}
+
+// Validation errors.
+var (
+	ErrEmpty        = errors.New("trace: empty trace")
+	ErrInvalidValue = errors.New("trace: values must be finite and non-negative")
+)
+
+// New constructs a trace from per-second values, validating each.
+func New(values []float64) (*Trace, error) {
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w (index %d: %v)", ErrInvalidValue, i, v)
+		}
+	}
+	t := &Trace{values: make([]float64, len(values))}
+	copy(t.values, values)
+	return t, nil
+}
+
+// MustNew is New but panics on error; for tests and literals known valid.
+func MustNew(values []float64) *Trace {
+	t, err := New(values)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of one-second samples.
+func (t *Trace) Len() int { return len(t.values) }
+
+// At returns the load at second i. Out-of-range indices clamp to the trace
+// boundary, which lets predictors look past the end without special cases.
+func (t *Trace) At(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.values) {
+		i = len(t.values) - 1
+	}
+	return t.values[i]
+}
+
+// Values returns a copy of the underlying samples.
+func (t *Trace) Values() []float64 {
+	out := make([]float64, len(t.values))
+	copy(out, t.values)
+	return out
+}
+
+// Slice returns the subtrace [from, to) (seconds). It errors on an empty or
+// out-of-range window.
+func (t *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 || to > len(t.values) || from >= to {
+		return nil, fmt.Errorf("trace: invalid slice [%d, %d) of %d samples", from, to, len(t.values))
+	}
+	return New(t.values[from:to])
+}
+
+// Day returns the 1-based day d as a subtrace (the paper indexes World Cup
+// days starting at 1).
+func (t *Trace) Day(d int) (*Trace, error) {
+	return t.Slice((d-1)*SecondsPerDay, d*SecondsPerDay)
+}
+
+// Days returns how many complete days the trace covers.
+func (t *Trace) Days() int { return len(t.values) / SecondsPerDay }
+
+// Max returns the global maximum load.
+func (t *Trace) Max() float64 {
+	max := 0.0
+	for _, v := range t.values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the average load.
+func (t *Trace) Mean() float64 {
+	if len(t.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range t.values {
+		sum += v
+	}
+	return sum / float64(len(t.values))
+}
+
+// MaxInWindow returns the maximum over samples [from, from+width), clamping
+// to the trace end — exactly the prediction the paper's scheduler uses
+// ("the maximum load value over a window of 378 seconds").
+func (t *Trace) MaxInWindow(from, width int) float64 {
+	if width <= 0 || len(t.values) == 0 {
+		return 0
+	}
+	if from < 0 {
+		from = 0
+	}
+	to := from + width
+	if to > len(t.values) {
+		to = len(t.values)
+	}
+	if from >= len(t.values) {
+		from = len(t.values) - 1
+		to = len(t.values)
+	}
+	max := 0.0
+	for _, v := range t.values[from:to] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// SlidingMax precomputes MaxInWindow(i, width) for every i in O(n) with a
+// monotone deque, so per-second schedulers avoid the O(width) scan.
+func (t *Trace) SlidingMax(width int) ([]float64, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("trace: invalid window width %d", width)
+	}
+	n := len(t.values)
+	out := make([]float64, n)
+	// deque holds indices with decreasing values; front is the max of the
+	// current window [i, i+width).
+	deque := make([]int, 0, width)
+	for i := n - 1; i >= 0; i-- {
+		// Build windows right-to-left: push index i, evict smaller tail.
+		for len(deque) > 0 && t.values[deque[len(deque)-1]] <= t.values[i] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, i)
+		// Evict front indices beyond i+width-1.
+		for deque[0] > i+width-1 {
+			deque = deque[1:]
+		}
+		out[i] = t.values[deque[0]]
+	}
+	return out, nil
+}
+
+// Scale returns a copy with every sample multiplied by f (>= 0).
+func (t *Trace) Scale(f float64) (*Trace, error) {
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("trace: invalid scale factor %v", f)
+	}
+	out := make([]float64, len(t.values))
+	for i, v := range t.values {
+		out[i] = v * f
+	}
+	return New(out)
+}
+
+// Resample returns a trace where each output sample is the mean of factor
+// consecutive input samples (coarsening), useful for plotting.
+func (t *Trace) Resample(factor int) (*Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("trace: invalid resample factor %d", factor)
+	}
+	n := len(t.values) / factor
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < factor; j++ {
+			sum += t.values[i*factor+j]
+		}
+		out[i] = sum / float64(factor)
+	}
+	return New(out)
+}
+
+// DailyPeaks returns the maximum load of each complete day (1-based day d
+// at index d-1) — the quantity the UpperBound PerDay scenario dimensions
+// against.
+func (t *Trace) DailyPeaks() []float64 {
+	days := t.Days()
+	out := make([]float64, days)
+	for d := 0; d < days; d++ {
+		out[d] = t.MaxInWindow(d*SecondsPerDay, SecondsPerDay)
+	}
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Samples int
+	Max     float64
+	Mean    float64
+	P50     float64
+	P95     float64
+	P99     float64
+}
+
+// Summary computes summary statistics. Percentiles use the nearest-rank
+// method on a sorted copy.
+func (t *Trace) Summary() Stats {
+	s := Stats{Samples: len(t.values), Max: t.Max(), Mean: t.Mean()}
+	if len(t.values) == 0 {
+		return s
+	}
+	sorted := t.Values()
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	s.P50, s.P95, s.P99 = rank(0.50), rank(0.95), rank(0.99)
+	return s
+}

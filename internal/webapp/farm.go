@@ -1,0 +1,185 @@
+package webapp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// Farm is the live counterpart of the simulator's cluster: a set of running
+// web-server instances fronted by a load balancer, reconfigured by starting
+// and stopping instances. It implements the paper's migration procedure for
+// stateless applications — new instances join the balancer before old ones
+// are drained — so a reconfiguration never drops the request stream.
+type Farm struct {
+	lb  *LoadBalancer
+	cfg InstanceConfig
+
+	mu        sync.Mutex
+	instances map[string][]*Instance // arch name → running instances
+	archs     map[string]profile.Arch
+	stopGrace time.Duration
+}
+
+// NewFarm builds an empty farm for the given architectures.
+func NewFarm(archs []profile.Arch, cfg InstanceConfig) (*Farm, error) {
+	if len(archs) == 0 {
+		return nil, fmt.Errorf("webapp: farm needs at least one architecture")
+	}
+	f := &Farm{
+		lb:        NewLoadBalancer(),
+		cfg:       cfg,
+		instances: make(map[string][]*Instance),
+		archs:     make(map[string]profile.Arch),
+		stopGrace: 5 * time.Second,
+	}
+	for _, a := range archs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		f.archs[a.Name] = a
+	}
+	return f, nil
+}
+
+// LoadBalancer exposes the farm's front end.
+func (f *Farm) LoadBalancer() *LoadBalancer { return f.lb }
+
+// Counts returns running instance counts per architecture.
+func (f *Farm) Counts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.instances))
+	for name, list := range f.instances {
+		if len(list) > 0 {
+			out[name] = len(list)
+		}
+	}
+	return out
+}
+
+// Capacity returns the summed sustained rate of all running instances
+// (scaled by the farm's RateScale).
+func (f *Farm) Capacity() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	scale := f.cfg.RateScale
+	if scale == 0 {
+		scale = 1
+	}
+	var cap float64
+	for name, list := range f.instances {
+		cap += float64(len(list)) * f.archs[name].MaxPerf * scale
+	}
+	return cap
+}
+
+// Reconfigure converges the farm to the target instance counts per
+// architecture: new instances start and join the load balancer first, then
+// surplus instances leave the balancer and drain. This is the live
+// equivalent of the scheduler's two-phase reconfiguration.
+func (f *Farm) Reconfigure(ctx context.Context, target map[string]int) error {
+	for name, want := range target {
+		if _, ok := f.archs[name]; !ok {
+			return fmt.Errorf("webapp: unknown architecture %q", name)
+		}
+		if want < 0 {
+			return fmt.Errorf("webapp: negative target %d for %q", want, name)
+		}
+	}
+	// Phase 1: start and register newcomers.
+	var started []*Instance
+	f.mu.Lock()
+	starts := make(map[string]int)
+	for name, want := range target {
+		if have := len(f.instances[name]); want > have {
+			starts[name] = want - have
+		}
+	}
+	f.mu.Unlock()
+	for name, n := range starts {
+		arch := f.archs[name]
+		for k := 0; k < n; k++ {
+			inst, err := StartInstance(arch, f.cfg)
+			if err != nil {
+				f.rollback(ctx, started)
+				return fmt.Errorf("webapp: starting %s instance: %w", name, err)
+			}
+			if err := f.lb.Add(inst.URL(), arch.MaxPerf); err != nil {
+				_ = inst.Stop(ctx)
+				f.rollback(ctx, started)
+				return err
+			}
+			started = append(started, inst)
+			f.mu.Lock()
+			f.instances[name] = append(f.instances[name], inst)
+			f.mu.Unlock()
+		}
+	}
+	// Phase 2: drain and stop the surplus.
+	var victims []*Instance
+	f.mu.Lock()
+	for name := range f.archs {
+		want := target[name]
+		list := f.instances[name]
+		for len(list) > want {
+			victim := list[len(list)-1]
+			list = list[:len(list)-1]
+			victims = append(victims, victim)
+		}
+		f.instances[name] = list
+	}
+	f.mu.Unlock()
+	for _, v := range victims {
+		if err := f.lb.Remove(v.URL()); err != nil {
+			return err
+		}
+		stopCtx, cancel := context.WithTimeout(ctx, f.stopGrace)
+		err := v.Stop(stopCtx)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rollback stops instances started by a failed reconfiguration.
+func (f *Farm) rollback(ctx context.Context, started []*Instance) {
+	for _, inst := range started {
+		_ = f.lb.Remove(inst.URL())
+		f.mu.Lock()
+		name := inst.Arch().Name
+		list := f.instances[name]
+		for i, x := range list {
+			if x == inst {
+				f.instances[name] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+		_ = inst.Stop(ctx)
+	}
+}
+
+// Close stops every instance.
+func (f *Farm) Close(ctx context.Context) error {
+	f.mu.Lock()
+	var all []*Instance
+	for name, list := range f.instances {
+		all = append(all, list...)
+		f.instances[name] = nil
+	}
+	f.mu.Unlock()
+	var firstErr error
+	for _, inst := range all {
+		_ = f.lb.Remove(inst.URL())
+		if err := inst.Stop(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

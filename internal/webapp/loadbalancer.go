@@ -1,0 +1,161 @@
+package webapp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// LoadBalancer is the component that makes the stateless application
+// migratable: it forwards each incoming request to one of the registered
+// backend instances, weighted by the backend's sustainable rate, so "up to
+// several web server instances" (§V-A) share the load the way the
+// simulator's fill-biggest-first dispatch assumes. Updating the backend set
+// is the second step of the paper's migration (start new instance → update
+// load balancer → stop old instance).
+type LoadBalancer struct {
+	mu       sync.Mutex
+	backends []*backend
+	client   *http.Client
+}
+
+type backend struct {
+	url    string
+	weight float64
+	credit float64
+	served uint64
+	failed uint64
+}
+
+// NewLoadBalancer builds an empty balancer.
+func NewLoadBalancer() *LoadBalancer {
+	return &LoadBalancer{client: &http.Client{}}
+}
+
+// ErrNoBackends is returned when a request arrives with no registered
+// instance.
+var ErrNoBackends = errors.New("webapp: load balancer has no backends")
+
+// Add registers a backend URL with the given weight (typically the hosting
+// architecture's MaxPerf).
+func (lb *LoadBalancer) Add(url string, weight float64) error {
+	if url == "" || weight <= 0 {
+		return fmt.Errorf("webapp: invalid backend %q weight %v", url, weight)
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for _, b := range lb.backends {
+		if b.url == url {
+			return fmt.Errorf("webapp: backend %q already registered", url)
+		}
+	}
+	lb.backends = append(lb.backends, &backend{url: url, weight: weight})
+	return nil
+}
+
+// Remove deregisters a backend URL.
+func (lb *LoadBalancer) Remove(url string) error {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for i, b := range lb.backends {
+		if b.url == url {
+			lb.backends = append(lb.backends[:i], lb.backends[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("webapp: backend %q not registered", url)
+}
+
+// Backends returns the registered backend URLs.
+func (lb *LoadBalancer) Backends() []string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make([]string, len(lb.backends))
+	for i, b := range lb.backends {
+		out[i] = b.url
+	}
+	return out
+}
+
+// pick selects the next backend by smooth weighted round-robin: each pick
+// adds every backend's weight to its credit and selects the highest-credit
+// backend, subtracting the total weight — the algorithm nginx uses, which
+// interleaves heterogeneous weights smoothly.
+func (lb *LoadBalancer) pick() (*backend, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if len(lb.backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	var total float64
+	var best *backend
+	for _, b := range lb.backends {
+		b.credit += b.weight
+		total += b.weight
+		if best == nil || b.credit > best.credit {
+			best = b
+		}
+	}
+	best.credit -= total
+	best.served++
+	return best, nil
+}
+
+// ServeHTTP implements http.Handler by proxying the request to a backend.
+// Only GET is needed by the benchmark workload; other methods are passed
+// through identically.
+func (lb *LoadBalancer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b, err := lb.pick()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := lb.client.Do(req)
+	if err != nil {
+		lb.mu.Lock()
+		b.failed++
+		lb.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return // client went away mid-copy; nothing to do
+	}
+}
+
+// FailedCounts returns per-backend transport-failure counts.
+func (lb *LoadBalancer) FailedCounts() map[string]uint64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make(map[string]uint64, len(lb.backends))
+	for _, b := range lb.backends {
+		out[b.url] = b.failed
+	}
+	return out
+}
+
+// ServedCounts returns per-backend forwarded-request counts, for dispatch
+// distribution assertions.
+func (lb *LoadBalancer) ServedCounts() map[string]uint64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make(map[string]uint64, len(lb.backends))
+	for _, b := range lb.backends {
+		out[b.url] = b.served
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+package webapp
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+func tinyArch(name string, maxPerf float64) profile.Arch {
+	return profile.Arch{
+		Name: name, MaxPerf: maxPerf,
+		IdlePower: 2, MaxPower: 5,
+		OnDuration: time.Second, OnEnergy: 5,
+		OffDuration: time.Second, OffEnergy: 2,
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := DefaultWorkload().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []Workload{{0, 10}, {-1, 10}, {10, 5}} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %+v accepted", w)
+		}
+	}
+}
+
+func TestHandlerServesHTMLWithInteger(t *testing.T) {
+	h, err := NewHandler(DefaultWorkload(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "<html>") || !strings.Contains(body, "<p>") {
+		t.Errorf("body missing HTML structure: %q", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	if h.Served() != 1 {
+		t.Errorf("Served = %d", h.Served())
+	}
+}
+
+func TestHandlerRejectsBadWorkload(t *testing.T) {
+	if _, err := NewHandler(Workload{MinIters: 0, MaxIters: 0}, 1); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestRateLimiterBasics(t *testing.T) {
+	if _, err := NewRateLimiter(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewRateLimiter(10, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+	l, err := NewRateLimiter(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rate() != 1000 {
+		t.Errorf("Rate = %v", l.Rate())
+	}
+	// Burst tokens available immediately.
+	for i := 0; i < 5; i++ {
+		if !l.Allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+}
+
+func TestRateLimiterSustainedRate(t *testing.T) {
+	// Injected clock: 100 req/s, burst 1.
+	now := time.Unix(0, 0)
+	l, err := NewRateLimiter(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.now = func() time.Time { return now }
+	if !l.Allow() {
+		t.Fatal("first token denied")
+	}
+	if l.Allow() {
+		t.Fatal("second token allowed with empty bucket")
+	}
+	now = now.Add(10 * time.Millisecond) // refills exactly one token
+	if !l.Allow() {
+		t.Fatal("token after refill denied")
+	}
+	if l.Allow() {
+		t.Fatal("extra token allowed")
+	}
+	// Long idle: bucket caps at burst.
+	now = now.Add(time.Hour)
+	if !l.Allow() {
+		t.Fatal("token after idle denied")
+	}
+	if l.Allow() {
+		t.Fatal("burst cap exceeded after idle")
+	}
+}
+
+func TestRateLimiterWaitDeadline(t *testing.T) {
+	l, err := NewRateLimiter(1, 1) // 1 req/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Wait(time.Time{}) {
+		t.Fatal("burst wait failed")
+	}
+	// Next token needs ~1 s; a 20 ms deadline must fail fast.
+	start := time.Now()
+	if l.Wait(time.Now().Add(20 * time.Millisecond)) {
+		t.Fatal("wait succeeded past deadline")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("deadline wait blocked too long")
+	}
+}
+
+func TestInstanceServesAndStops(t *testing.T) {
+	arch := tinyArch("t", 200)
+	inst, err := StartInstance(arch, InstanceConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(inst.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "<p>") {
+		t.Errorf("status %d body %q", resp.StatusCode, body)
+	}
+	if inst.Served() != 1 {
+		t.Errorf("Served = %d", inst.Served())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := inst.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent stop.
+	if err := inst.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(inst.URL()); err == nil {
+		t.Error("stopped instance still serving")
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	bad := tinyArch("x", 10)
+	bad.MaxPerf = -1
+	if _, err := StartInstance(bad, InstanceConfig{}); err == nil {
+		t.Error("invalid arch accepted")
+	}
+	if _, err := StartInstance(tinyArch("x", 10), InstanceConfig{RateScale: -1}); err == nil {
+		t.Error("negative rate scale accepted")
+	}
+}
+
+func TestInstanceRateCapRoughlyHolds(t *testing.T) {
+	// 50 req/s cap; a hot loop for 400 ms should complete ≈20 requests,
+	// certainly far fewer than an unthrottled server would.
+	arch := tinyArch("capped", 50)
+	inst, err := StartInstance(arch, InstanceConfig{Seed: 2, Patience: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		inst.Stop(ctx)
+	}()
+	deadline := time.Now().Add(400 * time.Millisecond)
+	client := &http.Client{}
+	var ok int
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(inst.URL())
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			ok++
+		}
+	}
+	// Burst (5) + 0.4 s × 50 = ~25; allow generous slack both ways.
+	if ok < 5 || ok > 60 {
+		t.Errorf("completed %d requests in 400ms at 50 req/s cap", ok)
+	}
+}
+
+func TestLoadBalancerRegistration(t *testing.T) {
+	lb := NewLoadBalancer()
+	if err := lb.Add("", 1); err == nil {
+		t.Error("empty url accepted")
+	}
+	if err := lb.Add("http://a", 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := lb.Add("http://a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Add("http://a", 1); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+	if err := lb.Remove("http://b"); err == nil {
+		t.Error("removing unknown backend succeeded")
+	}
+	if err := lb.Remove("http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(lb.Backends()) != 0 {
+		t.Errorf("backends = %v", lb.Backends())
+	}
+}
+
+func TestLoadBalancerNoBackends503(t *testing.T) {
+	lb := NewLoadBalancer()
+	rec := httptest.NewRecorder()
+	lb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+}
+
+func TestLoadBalancerWeightedDistribution(t *testing.T) {
+	var aCount, bCount int
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		aCount++
+		io.WriteString(w, "a")
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		bCount++
+		io.WriteString(w, "b")
+	}))
+	defer b.Close()
+	lb := NewLoadBalancer()
+	if err := lb.Add(a.URL, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Add(b.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb)
+	defer front.Close()
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(front.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if aCount != 30 || bCount != 10 {
+		t.Errorf("distribution a=%d b=%d, want 30/10 at weights 3:1", aCount, bCount)
+	}
+	counts := lb.ServedCounts()
+	if counts[a.URL] != 30 || counts[b.URL] != 10 {
+		t.Errorf("ServedCounts = %v", counts)
+	}
+}
+
+func TestLoadBalancerProxiesStatusAndBody(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Test", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "short and stout")
+	}))
+	defer backend.Close()
+	lb := NewLoadBalancer()
+	lb.Add(backend.URL, 1)
+	rec := httptest.NewRecorder()
+	lb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Test") != "yes" {
+		t.Error("headers not forwarded")
+	}
+	if rec.Body.String() != "short and stout" {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestLoadBalancerDeadBackend502(t *testing.T) {
+	lb := NewLoadBalancer()
+	lb.Add("http://127.0.0.1:1/", 1) // nothing listens on port 1
+	rec := httptest.NewRecorder()
+	lb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", rec.Code)
+	}
+}
+
+func TestFarmReconfigureLifecycle(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	archs := []profile.Arch{tinyArch("big", 100), tinyArch("little", 10)}
+	farm, err := NewFarm(archs, InstanceConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Close(ctx)
+
+	if err := farm.Reconfigure(ctx, map[string]int{"big": 1, "little": 2}); err != nil {
+		t.Fatal(err)
+	}
+	counts := farm.Counts()
+	if counts["big"] != 1 || counts["little"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got, want := farm.Capacity(), 120.0; got != want {
+		t.Errorf("capacity = %v, want %v", got, want)
+	}
+	if len(farm.LoadBalancer().Backends()) != 3 {
+		t.Errorf("backends = %v", farm.LoadBalancer().Backends())
+	}
+	// Requests flow through the balancer to the farm.
+	front := httptest.NewServer(farm.LoadBalancer())
+	defer front.Close()
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	// Scale down: the migration drains instances without erroring.
+	if err := farm.Reconfigure(ctx, map[string]int{"little": 1}); err != nil {
+		t.Fatal(err)
+	}
+	counts = farm.Counts()
+	if counts["big"] != 0 || counts["little"] != 1 {
+		t.Fatalf("after scale down: %v", counts)
+	}
+	if len(farm.LoadBalancer().Backends()) != 1 {
+		t.Errorf("backends after scale down = %v", farm.LoadBalancer().Backends())
+	}
+}
+
+func TestFarmValidation(t *testing.T) {
+	if _, err := NewFarm(nil, InstanceConfig{}); err == nil {
+		t.Error("empty arch list accepted")
+	}
+	ctx := context.Background()
+	farm, err := NewFarm([]profile.Arch{tinyArch("a", 10)}, InstanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Close(ctx)
+	if err := farm.Reconfigure(ctx, map[string]int{"zzz": 1}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if err := farm.Reconfigure(ctx, map[string]int{"a": -1}); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestLoadBalancerFailedCounts(t *testing.T) {
+	lb := NewLoadBalancer()
+	lb.Add("http://127.0.0.1:1/", 1)
+	rec := httptest.NewRecorder()
+	lb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if got := lb.FailedCounts()["http://127.0.0.1:1/"]; got != 1 {
+		t.Errorf("failed count = %d, want 1", got)
+	}
+}

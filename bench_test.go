@@ -334,6 +334,109 @@ func BenchmarkAblationMigrationCost(b *testing.B) {
 	}
 }
 
+// engineBenchTrace generates a WC'98-shaped trace of the given length and
+// quantizes it to 5-minute plateaus — the piecewise-constant load shape
+// (per-minute-aggregated access logs) the event engine is designed for.
+// Cached per day-count: the month-long generation is itself expensive.
+var engineTraces = map[int]*trace.Trace{}
+
+func engineBenchTrace(b *testing.B, days int) *trace.Trace {
+	b.Helper()
+	if tr, ok := engineTraces[days]; ok {
+		return tr
+	}
+	cfg := trace.DefaultWorldCupConfig()
+	cfg.Days = days
+	cfg.Seed = 99
+	tr, err := trace.GenerateWorldCup(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err = tr.Quantize(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engineTraces[days] = tr
+	return tr
+}
+
+// benchEngines compares the legacy 1 Hz tick loop against the event-driven
+// engine on the full BML scenario. The acceptance bar for the event engine
+// is ≥5× on the month-long trace; in practice it is orders of magnitude
+// (see BENCH_sim.json).
+func benchEngines(b *testing.B, days int) {
+	tr := engineBenchTrace(b, days)
+	planner := getPlanner(b)
+	for _, eng := range []struct {
+		name string
+		opts []sim.Option
+	}{
+		{"tick", []sim.Option{sim.WithTickEngine()}},
+		{"event", nil},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunBML(tr, planner, sim.BMLConfig{}, eng.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+			}
+			b.ReportMetric(float64(days*trace.SecondsPerDay)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e9, "simsec/s")
+		})
+	}
+}
+
+// BenchmarkEngineDayTrace compares the engines on one simulated day.
+func BenchmarkEngineDayTrace(b *testing.B) { benchEngines(b, 1) }
+
+// BenchmarkEngineMonthTrace compares the engines on a simulated month —
+// the scale at which the tick loop's O(trace-seconds) cost dominates and
+// the event engine's O(events) cost does not.
+func BenchmarkEngineMonthTrace(b *testing.B) { benchEngines(b, 30) }
+
+// BenchmarkEngineMonthAllScenarios runs the whole four-scenario evaluation
+// (the Figure 5 workload) on the month-long trace with the event engine,
+// fanned out across cores by RunAll.
+func BenchmarkEngineMonthAllScenarios(b *testing.B) {
+	tr := engineBenchTrace(b, 30)
+	planner := getPlanner(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunAll(tr, planner, sim.BMLConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepGrid measures a 3 traces × 4 scenarios sweep through the
+// worker pool — the experiment-grid workload the event engine unlocks.
+func BenchmarkSweepGrid(b *testing.B) {
+	planner := getPlanner(b)
+	var jobs []sim.SweepJob
+	for day := 1; day <= 3; day++ {
+		tr := engineBenchTrace(b, day)
+		for _, sc := range []sim.Scenario{
+			sim.ScenarioUpperBoundGlobal, sim.ScenarioUpperBoundPerDay,
+			sim.ScenarioBML, sim.ScenarioLowerBound,
+		} {
+			jobs = append(jobs, sim.SweepJob{
+				Name: fmt.Sprintf("%s/day%d", sc, day), Trace: tr,
+				Planner: planner, Scenario: sc,
+			})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range sim.Sweep(jobs, 0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkExactSolver measures the DP table construction cost (the
 // LowerBound scenario's dominant setup).
 func BenchmarkExactSolver(b *testing.B) {

@@ -10,6 +10,8 @@
 //	bmlsim -csv > fig5.csv         # machine-readable series
 //	bmlsim -trace trace.txt        # replay a saved trace file
 //	bmlsim -predictor ewma -error 0.2   # prediction ablations
+//	bmlsim -quantize 60            # piecewise-constant load (1-min log granularity)
+//	bmlsim -engine tick            # legacy 1 Hz loop (differential oracle)
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 		amortize  = flag.Float64("amortize", 0, "amortization horizon in seconds for -overhead-aware (0 = 378)")
 		critical  = flag.Bool("critical", false, "treat the application as QoS-critical (20% capacity headroom)")
 		chart     = flag.Bool("chart", false, "render the Figure 5 series as an ASCII chart")
+		engine    = flag.String("engine", "event", "simulation engine: event (fast, default) | tick (legacy 1 Hz oracle)")
+		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds (0 = raw 1 Hz trace)")
 	)
 	flag.Parse()
 
@@ -67,6 +71,23 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *quantize < 0 {
+		log.Fatalf("invalid -quantize %d (want a positive window in seconds)", *quantize)
+	}
+	if *quantize > 0 {
+		if tr, err = tr.Quantize(*quantize); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var simOpts []sim.Option
+	switch *engine {
+	case "event", "":
+		// Default: event-driven engine.
+	case "tick":
+		simOpts = append(simOpts, sim.WithTickEngine())
+	default:
+		log.Fatalf("unknown engine %q (want event or tick)", *engine)
 	}
 
 	bmlCfg := sim.BMLConfig{
@@ -99,7 +120,7 @@ func main() {
 	}
 
 	ev, err := wc98.Run(tr, profile.PaperMachines(), wc98.Config{
-		FirstDay: *first, LastDay: *last, BML: bmlCfg,
+		FirstDay: *first, LastDay: *last, BML: bmlCfg, Sim: simOpts,
 	})
 	if err != nil {
 		log.Fatal(err)

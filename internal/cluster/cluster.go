@@ -271,6 +271,22 @@ func (c *Cluster) PendingTransition() float64 {
 	return max
 }
 
+// NextTransitionEnd returns the shortest remaining transition time across
+// the fleet (zero when no machine is transitioning) — the next instant at
+// which a machine changes state on its own, which is the event-driven
+// simulator's wake-up signal.
+func (c *Cluster) NextTransitionEnd() float64 {
+	var min float64
+	for _, a := range c.archs {
+		for _, m := range c.pools[a.Name] {
+			if r := m.Remaining(); r > 0 && (min == 0 || r < min) {
+				min = r
+			}
+		}
+	}
+	return min
+}
+
 // Distribute assigns load across On machines, filling the biggest
 // architectures' nodes completely before touching smaller ones (machines
 // are most energy efficient fully loaded). It returns the rate actually

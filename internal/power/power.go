@@ -128,6 +128,30 @@ func (m *LinearModel) MaxPerf() float64 { return m.MaxRate }
 // DynamicRange returns Max-Idle, the usable dynamic power range.
 func (m *LinearModel) DynamicRange() Watts { return m.Max - m.Idle }
 
+// IntervalEnergy returns the closed-form energy of a constant draw p held
+// for dur seconds (p × Δt). It is the primitive the event-driven simulator
+// integrates with: between events nothing in the model changes, so a whole
+// interval collapses into one multiplication instead of one joule-sample
+// per second.
+func IntervalEnergy(p Watts, durSeconds float64) (Joules, error) {
+	if !p.IsValid() {
+		return 0, ErrNegativePower
+	}
+	if durSeconds < 0 || math.IsNaN(durSeconds) || math.IsInf(durSeconds, 0) {
+		return 0, fmt.Errorf("power: invalid duration %v", durSeconds)
+	}
+	return Joules(float64(p) * durSeconds), nil
+}
+
+// EnergyOver returns the closed-form energy of serving a constant rate on
+// model m for dur seconds — IntervalEnergy at the model's operating point.
+func EnergyOver(m Model, rate, durSeconds float64) (Joules, error) {
+	if m == nil {
+		return 0, errors.New("power: nil model")
+	}
+	return IntervalEnergy(m.PowerAt(rate), durSeconds)
+}
+
 // StepIntegrator accumulates energy from a series of (power, duration)
 // steps, the integration scheme the paper's simulator uses at one-second
 // granularity. The zero value is ready to use.

@@ -187,90 +187,168 @@ type StepReport struct {
 
 // Step advances the schedule by dt seconds at simulation second t with the
 // given offered demand. It performs (at most) one decision, dispatches the
-// demand across powered-on machines, and ticks the fleet.
+// demand across powered-on machines, and ticks the fleet. This is the
+// legacy 1 Hz entry point; the event-driven engine in internal/sim uses
+// DecideInterval and IntegrateInterval instead.
 func (s *Scheduler) Step(t int, demand, dt float64) (StepReport, error) {
 	var rep StepReport
 	if demand < 0 || math.IsNaN(demand) || math.IsInf(demand, 0) {
 		return rep, fmt.Errorf("sched: invalid demand %v", demand)
 	}
 	// Drain any migration lock left by the previous retire phase.
+	s.drainMigrationLock(dt)
+	if err := s.decide(t, 1, &rep); err != nil {
+		return rep, err
+	}
+	served, e, err := s.dispatch(demand, dt)
+	if err != nil {
+		return rep, err
+	}
+	rep.Served = served
+	rep.Energy = e + rep.Energy // rep.Energy may carry migration energy
+	return rep, nil
+}
+
+// DecideInterval is the event-driven engine's decision hook: it runs the
+// per-second decision logic once for an interval of `repeats` whole seconds
+// over which the caller guarantees that the load prediction is constant and
+// no machine transition or migration lock expires. Counters that the 1 Hz
+// loop would bump every second of the interval (skipped reconfigurations,
+// malleability adjustments) are advanced by `repeats` so the event engine
+// reproduces the tick engine's accounting exactly. The returned report may
+// carry migration energy charged at the decision instant.
+func (s *Scheduler) DecideInterval(t, repeats int) (StepReport, error) {
+	var rep StepReport
+	if repeats < 1 {
+		repeats = 1
+	}
+	err := s.decide(t, repeats, &rep)
+	return rep, err
+}
+
+// IntegrateInterval is the event-driven engine's integration hook: it
+// dispatches the (constant) demand across powered-on machines, advances the
+// fleet by dt seconds in one closed-form step, and drains the application
+// migration lock. It must be called after DecideInterval for the same
+// interval.
+func (s *Scheduler) IntegrateInterval(demand, dt float64) (served float64, energy power.Joules, err error) {
+	if demand < 0 || math.IsNaN(demand) || math.IsInf(demand, 0) {
+		return 0, 0, fmt.Errorf("sched: invalid demand %v", demand)
+	}
+	served, energy, err = s.dispatch(demand, dt)
+	s.drainMigrationLock(dt)
+	return served, energy, err
+}
+
+// NextWake returns the seconds until the earliest scheduler-relevant timer:
+// the next machine transition completion or the migration lock expiry.
+// Zero means no timer is pending and the next decision depends only on the
+// prediction signal.
+func (s *Scheduler) NextWake() float64 {
+	w := s.cl.NextTransitionEnd()
+	if s.migrationLock > 0 && (w == 0 || s.migrationLock < w) {
+		w = s.migrationLock
+	}
+	return w
+}
+
+// drainMigrationLock advances the migration lock by dt seconds.
+func (s *Scheduler) drainMigrationLock(dt float64) {
 	if s.migrationLock > 0 {
 		s.migrationLock -= dt
 		if s.migrationLock < 0 {
 			s.migrationLock = 0
 		}
 	}
+}
+
+// decide runs the per-second decision logic at second t. `repeats` is the
+// number of consecutive seconds the decision outcome provably repeats for
+// (always 1 from the tick loop); it scales the counters that the 1 Hz loop
+// would advance each second of a constant-prediction interval.
+func (s *Scheduler) decide(t, repeats int, rep *StepReport) error {
 	rep.Reconfiguring = s.reconfiguring()
 	if !s.cl.Reconfiguring() && s.pending != nil {
 		// Boot phase finished: migrate load off the retired machines and
 		// switch them off. The reconfiguration stays locked until the
 		// shutdowns (and the application migration) complete.
-		if err := s.applyRetirePhase(&rep); err != nil {
-			return rep, err
+		if err := s.applyRetirePhase(rep); err != nil {
+			return err
 		}
 		rep.Reconfiguring = s.reconfiguring()
 	}
-	if !rep.Reconfiguring && s.pending == nil {
-		p := s.pred.Predict(t) * s.headroom
-		rep.Predicted = p
-		target := s.table.At(p)
-		counts, adjusted := s.adjustForMalleability(target, p)
+	if rep.Reconfiguring || s.pending != nil {
+		return nil
+	}
+	p := s.pred.Predict(t) * s.headroom
+	rep.Predicted = p
+	target := s.table.At(p)
+	counts, adjusted := s.adjustForMalleability(target, p)
+	current := s.cl.Counts()
+	switch {
+	case sameCounts(counts, current):
+		// No change: the prediction window just slides. The tick loop
+		// would re-derive the same adjustment every second.
+		if adjusted {
+			s.adjustments += repeats
+		}
+	case s.overheadAware && !s.reconfigurationWorthIt(counts, p):
+		// The tick loop re-evaluates (and re-skips) this reconfiguration
+		// every second while the prediction holds.
+		if adjusted {
+			s.adjustments += repeats
+		}
+		s.skipped += repeats
+	default:
 		if adjusted {
 			s.adjustments++
 		}
-		current := s.cl.Counts()
-		switch {
-		case sameCounts(counts, current):
-			// No change: the prediction window just slides.
-		case s.overheadAware && !s.reconfigurationWorthIt(counts, p):
-			s.skipped++
-		default:
-			// Phase one: only grow the fleet (boot everything the target
-			// needs); defer shrinking to phase two after boots complete.
-			up := make(map[string]int, len(counts))
-			for k, v := range counts {
+		// Phase one: only grow the fleet (boot everything the target
+		// needs); defer shrinking to phase two after boots complete.
+		up := make(map[string]int, len(counts))
+		for k, v := range counts {
+			up[k] = v
+		}
+		for k, v := range current {
+			if v > up[k] {
 				up[k] = v
 			}
-			for k, v := range current {
-				if v > up[k] {
-					up[k] = v
-				}
+		}
+		on, off, err := s.cl.SetTarget(up)
+		if err != nil {
+			return err
+		}
+		s.decisions++
+		s.switchOns += on
+		s.switchOffs += off
+		s.lastTarget = counts
+		s.recordDecision(Decision{Time: t, Predicted: p, Target: counts, SwitchOns: on, SwitchOffs: off})
+		if !sameCounts(up, counts) {
+			s.pending = counts
+		}
+		rep.Decided = true
+		rep.Reconfiguring = s.reconfiguring()
+		if !s.cl.Reconfiguring() && s.pending != nil {
+			// Nothing actually booted (e.g. counts only shrank after
+			// normalization); apply the shrink immediately.
+			if err := s.applyRetirePhase(rep); err != nil {
+				return err
 			}
-			on, off, err := s.cl.SetTarget(up)
-			if err != nil {
-				return rep, err
-			}
-			s.decisions++
-			s.switchOns += on
-			s.switchOffs += off
-			s.lastTarget = counts
-			s.recordDecision(Decision{Time: t, Predicted: p, Target: counts, SwitchOns: on, SwitchOffs: off})
-			if !sameCounts(up, counts) {
-				s.pending = counts
-			}
-			rep.Decided = true
 			rep.Reconfiguring = s.reconfiguring()
-			if !s.cl.Reconfiguring() && s.pending != nil {
-				// Nothing actually booted (e.g. counts only shrank after
-				// normalization); apply the shrink immediately.
-				if err := s.applyRetirePhase(&rep); err != nil {
-					return rep, err
-				}
-				rep.Reconfiguring = s.reconfiguring()
-			}
 		}
 	}
+	return nil
+}
+
+// dispatch distributes demand across powered-on machines and advances the
+// fleet by dt seconds, returning the served rate and consumed energy.
+func (s *Scheduler) dispatch(demand, dt float64) (float64, power.Joules, error) {
 	served, err := s.cl.Distribute(demand)
 	if err != nil {
-		return rep, err
+		return served, 0, err
 	}
-	rep.Served = served
 	e, err := s.cl.Tick(dt)
-	if err != nil {
-		return rep, err
-	}
-	rep.Energy = e + rep.Energy // rep.Energy may carry migration energy
-	return rep, nil
+	return served, e, err
 }
 
 // reconfiguring reports whether machine transitions or application

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bml"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Option configures how the Run functions execute a scenario.
+type Option func(*options)
+
+type options struct {
+	tick bool
+}
+
+// WithTickEngine selects the legacy 1 Hz tick loop: one scheduler step and
+// one joule-sample per simulated second. It is kept as the differential-
+// testing oracle for the event engine and for exact replication of the
+// paper's original integration scheme.
+func WithTickEngine() Option { return func(o *options) { o.tick = true } }
+
+// WithEventEngine selects the event-driven engine (the default): the
+// simulation skips directly from one event to the next and integrates
+// energy analytically over each interval.
+func WithEventEngine() Option { return func(o *options) { o.tick = false } }
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// wakeCeil converts a scheduler wake-up delay in (possibly fractional)
+// seconds into the first whole second at which the 1 Hz decision loop
+// would observe the change.
+func wakeCeil(w float64) int {
+	return int(math.Ceil(w - 1e-9))
+}
+
+// runBMLEvent is the event-driven BML scenario: decisions are evaluated
+// only at event seconds and the fleet energy is integrated in closed form
+// over each interval.
+func runBMLEvent(tr *trace.Trace, sc *sched.Scheduler, pred predict.Predictor, res *Result) error {
+	tl := newTimeline(tr, pred)
+	n := tr.Len()
+	for t := 0; t < n; {
+		// Static events (load, prediction, day, end) bound the interval the
+		// decision outcome provably repeats over.
+		static := tl.next(t)
+		rep, err := sc.DecideInterval(t, static-t)
+		if err != nil {
+			return fmt.Errorf("sim: decide at %d: %w", t, err)
+		}
+		// The decision may have started transitions or a migration lock;
+		// pre-existing ones also wake the scheduler mid-interval.
+		next := static
+		if w := sc.NextWake(); w > 0 {
+			if s := t + wakeCeil(w); s < next {
+				next = s
+			}
+		}
+		if next <= t {
+			next = t + 1
+		}
+		demand := tr.At(t)
+		served, e, err := sc.IntegrateInterval(demand, float64(next-t))
+		if err != nil {
+			return fmt.Errorf("sim: integrate [%d,%d): %w", t, next, err)
+		}
+		res.addEnergy(t, e+rep.Energy)
+		if err := res.QoS.Observe(demand, served, float64(next-t)); err != nil {
+			return err
+		}
+		t = next
+	}
+	return nil
+}
+
+// runBMLTick is the legacy 1 Hz loop retained as the differential oracle.
+func runBMLTick(tr *trace.Trace, sc *sched.Scheduler, res *Result) error {
+	for t := 0; t < tr.Len(); t++ {
+		demand := tr.At(t)
+		rep, err := sc.Step(t, demand, 1)
+		if err != nil {
+			return fmt.Errorf("sim: step %d: %w", t, err)
+		}
+		res.addEnergy(t, rep.Energy)
+		if err := res.QoS.Observe(demand, rep.Served, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runHomogeneousEvent integrates a per-day-constant homogeneous fleet
+// event-wise: the draw only changes when the load or the day's sizing
+// does, so each interval is one closed-form energy evaluation.
+func runHomogeneousEvent(tr *trace.Trace, arch profile.Arch, sizeForDay func(day int) int, res *Result) error {
+	tl := newTimeline(tr, nil)
+	n := tr.Len()
+	for t := 0; t < n; {
+		next := tl.next(t)
+		dt := float64(next - t)
+		nodes := sizeForDay(t / trace.SecondsPerDay)
+		demand := tr.At(t)
+		served := math.Min(demand, float64(nodes)*arch.MaxPerf)
+		total := fleetPowerN(arch, nodes, served)
+		idle := float64(nodes) * float64(arch.IdlePower)
+		e, err := power.IntervalEnergy(power.Watts(total), dt)
+		if err != nil {
+			return err
+		}
+		res.Breakdown.Idle += power.Joules(idle * dt)
+		res.Breakdown.Dynamic += power.Joules((total - idle) * dt)
+		res.addEnergy(t, e)
+		if err := res.QoS.Observe(demand, served, dt); err != nil {
+			return err
+		}
+		t = next
+	}
+	return nil
+}
+
+// runLowerBoundEvent integrates the theoretical optimum event-wise: the
+// ideal combination's power is a pure function of the instantaneous load,
+// so it only changes at load changes.
+func runLowerBoundEvent(tr *trace.Trace, solver *bml.ExactSolver, res *Result) error {
+	tl := newTimeline(tr, nil)
+	n := tr.Len()
+	for t := 0; t < n; {
+		next := tl.next(t)
+		dt := float64(next - t)
+		demand := tr.At(t)
+		e, err := power.IntervalEnergy(solver.PowerAt(demand), dt)
+		if err != nil {
+			return err
+		}
+		res.addEnergy(t, e)
+		if err := res.QoS.Observe(demand, demand, dt); err != nil {
+			return err
+		}
+		t = next
+	}
+	return nil
+}

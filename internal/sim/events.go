@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+// This file implements the event timeline of the event-driven engine.
+//
+// Between two consecutive events nothing in the simulated model changes:
+// the offered load is constant, the load prediction (and therefore the
+// scheduler's decision outcome) is constant, every machine stays in its
+// current automaton state, and the day-accounting bucket is fixed. The
+// engine therefore only has to evaluate the model at event seconds and can
+// integrate energy analytically over each interval. Five event sources
+// exist:
+//
+//   - trace-change events: seconds where the offered load differs from the
+//     previous second (dense for noisy 1 Hz traces, sparse for quantized
+//     or piecewise-constant ones);
+//   - prediction-change events: seconds where the predictor's forecast
+//     changes, which are the only instants a new scheduler decision can
+//     differ from the previous one;
+//   - scheduler wake-ups: machine On/Off transition completions and
+//     application migration-lock expiries, queried from the scheduler
+//     after each decision (they are the only asynchronous state changes);
+//   - day boundaries: the per-day energy series switches buckets;
+//   - the end of the trace.
+//
+// The first two are monotone signals precomputed lazily by cursors; the
+// wake-ups are re-queried each interval because decisions create them.
+
+// eventCursor yields the next event second of one monotone event source.
+// next must be called with non-decreasing t and returns the smallest event
+// second strictly greater than t, or the trace length when exhausted.
+type eventCursor interface {
+	next(t int) int
+}
+
+// valueCursor adapts any deterministic per-second signal into an event
+// source: an event fires whenever the signal's value changes. The scan is
+// lazy and cached, so across a whole run every second is evaluated at most
+// once even when other event sources interleave.
+type valueCursor struct {
+	n     int
+	at    func(int) float64
+	known int // cached next change (> any previously queried t), 0 = unknown
+}
+
+func (c *valueCursor) next(t int) int {
+	if c.known > t {
+		return c.known
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t >= c.n {
+		return c.n
+	}
+	v := c.at(t)
+	u := t + 1
+	for u < c.n && c.at(u) == v {
+		u++
+	}
+	c.known = u
+	return u
+}
+
+// traceCursor wraps Trace.NextChange with the same caching contract.
+type traceCursor struct {
+	tr    *trace.Trace
+	known int
+}
+
+func (c *traceCursor) next(t int) int {
+	if c.known > t {
+		return c.known
+	}
+	c.known = c.tr.NextChange(t)
+	return c.known
+}
+
+// timeline merges the monotone event sources with day boundaries and the
+// trace end. Scheduler wake-ups are merged separately by the engine loop
+// because they depend on the decision taken at the interval start.
+type timeline struct {
+	n       int
+	cursors []eventCursor
+}
+
+func newTimeline(tr *trace.Trace, pred predict.Predictor) *timeline {
+	tl := &timeline{n: tr.Len()}
+	tl.cursors = append(tl.cursors, &traceCursor{tr: tr})
+	if pred != nil {
+		tl.cursors = append(tl.cursors, &valueCursor{n: tr.Len(), at: pred.Predict})
+	}
+	return tl
+}
+
+// next returns the earliest event second strictly after t: the next load or
+// prediction change, the next day boundary, or the trace end, whichever
+// comes first. The result is always in (t, n].
+func (tl *timeline) next(t int) int {
+	next := tl.n
+	if day := (t/trace.SecondsPerDay + 1) * trace.SecondsPerDay; day < next {
+		next = day
+	}
+	for _, c := range tl.cursors {
+		if u := c.next(t); u < next {
+			next = u
+		}
+	}
+	if next <= t { // degenerate, should not happen: never stall
+		next = t + 1
+	}
+	return next
+}

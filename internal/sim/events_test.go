@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+func TestTimelineMergesSources(t *testing.T) {
+	// Load changes at 5 and 9; the predictor (lookahead-max over 3 s)
+	// rises earlier, at the window edge 3, and falls with the load at 9.
+	vals := []float64{1, 1, 1, 1, 1, 4, 4, 4, 4, 2, 2, 2}
+	tr := trace.MustNew(vals)
+	pred, err := predict.NewLookaheadMax(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := newTimeline(tr, pred)
+	var events []int
+	for u := 0; u < tr.Len(); {
+		u = tl.next(u)
+		events = append(events, u)
+	}
+	want := []int{3, 5, 9, 12}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestTimelineDayBoundaries(t *testing.T) {
+	// A constant two-day trace: the only events are the day boundary and
+	// the trace end.
+	tr := trace.MustNew(mkConst(2*trace.SecondsPerDay, 7))
+	tl := newTimeline(tr, nil)
+	if got := tl.next(0); got != trace.SecondsPerDay {
+		t.Errorf("first event = %d, want day boundary %d", got, trace.SecondsPerDay)
+	}
+	if got := tl.next(trace.SecondsPerDay); got != 2*trace.SecondsPerDay {
+		t.Errorf("second event = %d, want trace end", got)
+	}
+}
+
+func TestValueCursorCachesMonotonically(t *testing.T) {
+	calls := 0
+	vc := &valueCursor{n: 1000, at: func(i int) float64 {
+		calls++
+		return float64(i / 100) // changes every 100 s
+	}}
+	// Query from interleaved positions, as the engine does when other
+	// event sources fire inside a constant-prediction run.
+	for _, q := range []int{0, 10, 50, 99, 100, 150, 199, 200} {
+		want := (q/100 + 1) * 100
+		if got := vc.next(q); got != want {
+			t.Errorf("next(%d) = %d, want %d", q, got, want)
+		}
+	}
+	// Lazy scan with caching: each second is evaluated at most once, so
+	// the call count stays ~O(range scanned), not O(queries × range).
+	if calls > 350 {
+		t.Errorf("signal evaluated %d times for 300 s scanned", calls)
+	}
+}
+
+func TestWakeCeil(t *testing.T) {
+	cases := []struct {
+		w    float64
+		want int
+	}{
+		{1, 1}, {10, 10}, {0.5, 1}, {10.5, 11}, {189, 189}, {2.0000000001, 2},
+	}
+	for _, c := range cases {
+		if got := wakeCeil(c.w); got != c.want {
+			t.Errorf("wakeCeil(%v) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}

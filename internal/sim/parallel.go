@@ -2,6 +2,8 @@ package sim
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/bml"
@@ -16,54 +18,123 @@ type ScenarioSet struct {
 	LowerBound       *Result
 }
 
+// Scenario names one of the four §V-C scenarios for sweep grids.
+type Scenario string
+
+// The four scenarios a SweepJob can run.
+const (
+	ScenarioUpperBoundGlobal Scenario = "ub-global"
+	ScenarioUpperBoundPerDay Scenario = "ub-perday"
+	ScenarioBML              Scenario = "bml"
+	ScenarioLowerBound       Scenario = "lowerbound"
+)
+
+// SweepJob is one cell of a scenario × trace × configuration grid.
+type SweepJob struct {
+	// Name labels the cell in reports (e.g. "bml/day3/headroom=1.2").
+	Name string
+	// Trace is the load trace to replay.
+	Trace *trace.Trace
+	// Planner supplies candidate classes and the combination table. The
+	// homogeneous scenarios use Planner.Big(); LowerBound uses
+	// Planner.Candidates().
+	Planner *bml.Planner
+	// Scenario selects which of the four runs to execute.
+	Scenario Scenario
+	// BML configures the BML scenario (ignored by the other three).
+	BML BMLConfig
+	// Options forwards engine options (e.g. WithTickEngine) to the run.
+	Options []Option
+}
+
+// run executes the job's scenario.
+func (j SweepJob) run() (*Result, error) {
+	if j.Trace == nil || j.Planner == nil {
+		return nil, errors.New("sim: sweep job needs a trace and a planner")
+	}
+	switch j.Scenario {
+	case ScenarioUpperBoundGlobal:
+		return RunUpperBoundGlobal(j.Trace, j.Planner.Big(), j.Options...)
+	case ScenarioUpperBoundPerDay:
+		return RunUpperBoundPerDay(j.Trace, j.Planner.Big(), j.Options...)
+	case ScenarioBML:
+		return RunBML(j.Trace, j.Planner, j.BML, j.Options...)
+	case ScenarioLowerBound:
+		return RunLowerBound(j.Trace, j.Planner.Candidates(), j.Options...)
+	default:
+		return nil, fmt.Errorf("sim: unknown scenario %q", j.Scenario)
+	}
+}
+
+// SweepResult pairs a job with its outcome.
+type SweepResult struct {
+	Job    SweepJob
+	Result *Result
+	Err    error
+}
+
+// Sweep executes a grid of scenario × trace × configuration jobs across a
+// bounded worker pool and returns one SweepResult per job, in job order.
+// workers ≤ 0 uses GOMAXPROCS. Individual job failures are reported in
+// their SweepResult rather than aborting the sweep, so a large experiment
+// grid survives one bad cell.
+func Sweep(jobs []SweepJob, workers int) []SweepResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]SweepResult, len(jobs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := jobs[i].run()
+				out[i] = SweepResult{Job: jobs[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
 // RunAll executes all four scenarios concurrently — each is independent,
 // so the evaluation's wall time drops to the slowest scenario (the BML
 // run). It returns the first error encountered.
-func RunAll(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*ScenarioSet, error) {
+func RunAll(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, opts ...Option) (*ScenarioSet, error) {
 	if tr == nil || planner == nil {
 		return nil, errors.New("sim: nil trace or planner")
 	}
-	var (
-		set  ScenarioSet
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	record := func(err error) {
-		if err != nil {
-			mu.Lock()
-			errs = append(errs, err)
-			mu.Unlock()
-		}
+	jobs := []SweepJob{
+		{Name: "ub-global", Trace: tr, Planner: planner, Scenario: ScenarioUpperBoundGlobal, Options: opts},
+		{Name: "ub-perday", Trace: tr, Planner: planner, Scenario: ScenarioUpperBoundPerDay, Options: opts},
+		{Name: "bml", Trace: tr, Planner: planner, Scenario: ScenarioBML, BML: cfg, Options: opts},
+		{Name: "lowerbound", Trace: tr, Planner: planner, Scenario: ScenarioLowerBound, Options: opts},
 	}
-	wg.Add(4)
-	go func() {
-		defer wg.Done()
-		r, err := RunUpperBoundGlobal(tr, planner.Big())
-		set.UpperBoundGlobal = r
-		record(err)
-	}()
-	go func() {
-		defer wg.Done()
-		r, err := RunUpperBoundPerDay(tr, planner.Big())
-		set.UpperBoundPerDay = r
-		record(err)
-	}()
-	go func() {
-		defer wg.Done()
-		r, err := RunBML(tr, planner, cfg)
-		set.BML = r
-		record(err)
-	}()
-	go func() {
-		defer wg.Done()
-		r, err := RunLowerBound(tr, planner.Candidates())
-		set.LowerBound = r
-		record(err)
-	}()
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	results := Sweep(jobs, len(jobs))
+	var set ScenarioSet
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		switch jobs[i].Scenario {
+		case ScenarioUpperBoundGlobal:
+			set.UpperBoundGlobal = r.Result
+		case ScenarioUpperBoundPerDay:
+			set.UpperBoundPerDay = r.Result
+		case ScenarioBML:
+			set.BML = r.Result
+		case ScenarioLowerBound:
+			set.LowerBound = r.Result
+		}
 	}
 	return &set, nil
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/bml"
-	"repro/internal/power"
 	"repro/internal/trace"
 )
 
@@ -45,7 +44,7 @@ func RunBMLRecorded(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, bucket
 		nStatic = 1
 	}
 
-	sc, cl, err := buildBMLRig(tr, planner, cfg)
+	sc, cl, _, err := buildBMLRig(tr, planner, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +56,7 @@ func RunBMLRecorded(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, bucket
 		StaticPower:   make([]float64, buckets),
 	}
 	counts := make([]int, buckets)
-	res := &Result{Name: "Big-Medium-Little", DailyEnergy: make([]power.Joules, tr.Days())}
+	res := newResult("Big-Medium-Little", tr.Days())
 	for t := 0; t < tr.Len(); t++ {
 		demand := tr.At(t)
 		rep, err := sc.Step(t, demand, 1)
@@ -89,6 +88,7 @@ func RunBMLRecorded(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, bucket
 	res.MigrationEnergy = sc.MigrationEnergy()
 	res.Breakdown = cl.Breakdown()
 	res.Breakdown.Transition += res.MigrationEnergy
+	res.finalize()
 	rec.Result = res
 	return rec, nil
 }

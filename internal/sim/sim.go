@@ -1,5 +1,5 @@
-// Package sim is the discrete-time (1 Hz) simulator behind the paper's
-// evaluation. It replays a load trace against four scenarios:
+// Package sim is the simulator behind the paper's evaluation. It replays a
+// load trace against four scenarios:
 //
 //   - UpperBound Global: a homogeneous data center sized once for the
 //     global peak (4 Big machines for the paper's trace), always on — the
@@ -12,13 +12,25 @@
 //   - LowerBound Theoretical: the unreachable bound where the ideal
 //     combination is re-established every second at zero switching cost.
 //
+// Two engines execute the scenarios. The default event-driven engine
+// (engine.go, events.go) observes that between scheduler decisions,
+// machine On/Off completions, day boundaries, and trace-level load
+// changes nothing in the model changes, so it skips directly from one
+// event to the next and integrates energy analytically over each interval
+// (power × Δt): a month-long piecewise-constant trace simulates in
+// milliseconds. The legacy 1 Hz tick loop — one scheduler step and one
+// joule-sample per simulated second, the paper's original integration
+// scheme — is retained behind WithTickEngine() as the differential-testing
+// oracle; the two engines produce identical results (differential_test.go
+// holds them to ≤1e-6 J and exactly equal counters).
+//
 // Results report total and per-day energy (the series of Figure 5) plus
-// QoS and reconfiguration statistics.
+// QoS and reconfiguration statistics. RunAll and Sweep (parallel.go) fan
+// scenario × trace grids out across cores.
 package sim
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/app"
@@ -56,14 +68,59 @@ type Result struct {
 	// (zero-valued for the LowerBound scenario, whose solver reports only
 	// total optimal power).
 	Breakdown power.Breakdown
+
+	// Neumaier compensation terms for the energy accumulators. The tick
+	// engine performs one addition per simulated second while the event
+	// engine performs one per interval; compensated summation keeps both
+	// orderings exact to well below the 1e-6 J differential-test bound
+	// even on month-long traces. finalize folds them into the totals.
+	totalComp float64
+	dailyComp []float64
+}
+
+// newResult allocates a Result with day buckets and compensation terms.
+func newResult(name string, days int) *Result {
+	return &Result{
+		Name:        name,
+		DailyEnergy: make([]power.Joules, days),
+		dailyComp:   make([]float64, days),
+	}
+}
+
+// neumaierAdd performs one step of Neumaier's compensated summation.
+func neumaierAdd(sum, comp, v float64) (float64, float64) {
+	t := sum + v
+	if math.Abs(sum) >= math.Abs(v) {
+		comp += (sum - t) + v
+	} else {
+		comp += (v - t) + sum
+	}
+	return t, comp
 }
 
 // addEnergy accumulates e into the run totals, crediting the day that
 // second t belongs to.
 func (r *Result) addEnergy(t int, e power.Joules) {
-	r.TotalEnergy += e
+	var s float64
+	s, r.totalComp = neumaierAdd(float64(r.TotalEnergy), r.totalComp, float64(e))
+	r.TotalEnergy = power.Joules(s)
 	if d := t / trace.SecondsPerDay; d < len(r.DailyEnergy) {
-		r.DailyEnergy[d] += e
+		if r.dailyComp == nil {
+			r.dailyComp = make([]float64, len(r.DailyEnergy))
+		}
+		s, r.dailyComp[d] = neumaierAdd(float64(r.DailyEnergy[d]), r.dailyComp[d], float64(e))
+		r.DailyEnergy[d] = power.Joules(s)
+	}
+}
+
+// finalize folds the summation compensation terms into the reported
+// energies. Run functions call it once before returning.
+func (r *Result) finalize() {
+	r.TotalEnergy += power.Joules(r.totalComp)
+	r.totalComp = 0
+	for d := range r.DailyEnergy {
+		r.DailyEnergy[d] += power.Joules(r.dailyComp[d])
+		r.dailyComp[d] = 0
 	}
 }
 
@@ -96,21 +153,23 @@ type BMLConfig struct {
 	AmortizeSeconds float64
 }
 
-// buildBMLRig assembles the scheduler and cluster for a BML run.
-func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.Scheduler, *cluster.Cluster, error) {
+// buildBMLRig assembles the scheduler, cluster, and predictor for a BML
+// run. The predictor is returned so the event engine can derive
+// prediction-change events from it.
+func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.Scheduler, *cluster.Cluster, predict.Predictor, error) {
 	wf := cfg.WindowFactor
 	if wf == 0 {
 		wf = sched.DefaultWindowFactor
 	}
 	window, err := sched.Window(planner.Candidates(), wf)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	pred := cfg.Predictor
 	if pred == nil {
 		pred, err = predict.NewLookaheadMax(tr, window)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	headroom := cfg.Headroom
@@ -131,7 +190,7 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 	}
 	cl, err := cluster.New(planner.Candidates(), clOpts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sc, err := sched.New(sched.Config{
 		Table:           table,
@@ -143,34 +202,32 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 		AmortizeSeconds: cfg.AmortizeSeconds,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return sc, cl, nil
+	return sc, cl, pred, nil
 }
 
 // RunBML simulates the heterogeneous infrastructure under the proactive
 // scheduler over tr, using the planner's candidate classes and combination
-// table.
-func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*Result, error) {
+// table. The event-driven engine is used unless WithTickEngine is given.
+func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, opts ...Option) (*Result, error) {
 	if tr == nil || planner == nil {
 		return nil, errors.New("sim: nil trace or planner")
 	}
-	sc, cl, err := buildBMLRig(tr, planner, cfg)
+	o := buildOptions(opts)
+	sc, cl, pred, err := buildBMLRig(tr, planner, cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Name: "Big-Medium-Little", DailyEnergy: make([]power.Joules, tr.Days())}
-	for t := 0; t < tr.Len(); t++ {
-		demand := tr.At(t)
-		rep, err := sc.Step(t, demand, 1)
-		if err != nil {
-			return nil, fmt.Errorf("sim: step %d: %w", t, err)
-		}
-		res.addEnergy(t, rep.Energy)
-		if err := res.QoS.Observe(demand, rep.Served, 1); err != nil {
-			return nil, err
-		}
+	res := newResult("Big-Medium-Little", tr.Days())
+	if o.tick {
+		err = runBMLTick(tr, sc, res)
+	} else {
+		err = runBMLEvent(tr, sc, pred, res)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.Decisions = sc.Decisions()
 	res.SwitchOns = sc.SwitchOns()
@@ -179,13 +236,14 @@ func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*Result, erro
 	res.MigrationEnergy = sc.MigrationEnergy()
 	res.Breakdown = cl.Breakdown()
 	res.Breakdown.Transition += res.MigrationEnergy
+	res.finalize()
 	return res, nil
 }
 
 // RunUpperBoundGlobal simulates the over-provisioned homogeneous data
 // center: n = ceil(globalPeak / big.MaxPerf) machines of the Big class,
 // always on, load packed onto as few nodes as possible.
-func RunUpperBoundGlobal(tr *trace.Trace, big profile.Arch) (*Result, error) {
+func RunUpperBoundGlobal(tr *trace.Trace, big profile.Arch, opts ...Option) (*Result, error) {
 	if tr == nil {
 		return nil, errors.New("sim: nil trace")
 	}
@@ -196,14 +254,14 @@ func RunUpperBoundGlobal(tr *trace.Trace, big profile.Arch) (*Result, error) {
 	if n == 0 {
 		n = 1 // even an idle data center keeps one machine
 	}
-	return runHomogeneousStatic(tr, big, func(int) int { return n }, "UpperBound Global")
+	return runHomogeneousStatic(tr, big, func(int) int { return n }, "UpperBound Global", buildOptions(opts))
 }
 
 // RunUpperBoundPerDay simulates coarse-grain capacity planning: each day
 // runs ceil(dayPeak / big.MaxPerf) always-on Big machines. Transition
 // costs between days are not charged, which only makes this upper bound
 // more favorable.
-func RunUpperBoundPerDay(tr *trace.Trace, big profile.Arch) (*Result, error) {
+func RunUpperBoundPerDay(tr *trace.Trace, big profile.Arch, opts ...Option) (*Result, error) {
 	if tr == nil {
 		return nil, errors.New("sim: nil trace")
 	}
@@ -225,14 +283,21 @@ func RunUpperBoundPerDay(tr *trace.Trace, big profile.Arch) (*Result, error) {
 		}
 		return n
 	}
-	return runHomogeneousStatic(tr, big, perDay, "UpperBound PerDay")
+	return runHomogeneousStatic(tr, big, perDay, "UpperBound PerDay", buildOptions(opts))
 }
 
 // runHomogeneousStatic integrates a homogeneous fleet whose size is a
 // per-day constant. Load is packed fill-first; shortfall (possible only on
 // the trailing partial-day fallback) is recorded as QoS loss.
-func runHomogeneousStatic(tr *trace.Trace, arch profile.Arch, sizeForDay func(day int) int, name string) (*Result, error) {
-	res := &Result{Name: name, DailyEnergy: make([]power.Joules, tr.Days())}
+func runHomogeneousStatic(tr *trace.Trace, arch profile.Arch, sizeForDay func(day int) int, name string, o options) (*Result, error) {
+	res := newResult(name, tr.Days())
+	if !o.tick {
+		if err := runHomogeneousEvent(tr, arch, sizeForDay, res); err != nil {
+			return nil, err
+		}
+		res.finalize()
+		return res, nil
+	}
 	for t := 0; t < tr.Len(); t++ {
 		day := t / trace.SecondsPerDay
 		n := sizeForDay(day)
@@ -247,6 +312,7 @@ func runHomogeneousStatic(tr *trace.Trace, arch profile.Arch, sizeForDay func(da
 			return nil, err
 		}
 	}
+	res.finalize()
 	return res, nil
 }
 
@@ -271,15 +337,23 @@ func fleetPowerN(arch profile.Arch, n int, load float64) float64 {
 // RunLowerBound integrates the theoretical minimum: every second the ideal
 // (exact) combination for the instantaneous load, with no switching latency
 // or energy — the unreachable bound of Figure 5.
-func RunLowerBound(tr *trace.Trace, candidates []profile.Arch) (*Result, error) {
+func RunLowerBound(tr *trace.Trace, candidates []profile.Arch, opts ...Option) (*Result, error) {
 	if tr == nil {
 		return nil, errors.New("sim: nil trace")
 	}
+	o := buildOptions(opts)
 	solver, err := bml.NewExactSolver(candidates, tr.Max(), 1)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Name: "LowerBound Theoretical", DailyEnergy: make([]power.Joules, tr.Days())}
+	res := newResult("LowerBound Theoretical", tr.Days())
+	if !o.tick {
+		if err := runLowerBoundEvent(tr, solver, res); err != nil {
+			return nil, err
+		}
+		res.finalize()
+		return res, nil
+	}
 	for t := 0; t < tr.Len(); t++ {
 		demand := tr.At(t)
 		res.addEnergy(t, power.Joules(float64(solver.PowerAt(demand))))
@@ -287,5 +361,6 @@ func RunLowerBound(tr *trace.Trace, candidates []profile.Arch) (*Result, error) 
 			return nil, err
 		}
 	}
+	res.finalize()
 	return res, nil
 }

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNextChange(t *testing.T) {
+	tr := MustNew([]float64{1, 1, 1, 2, 2, 3, 3, 3})
+	cases := []struct{ at, want int }{
+		{0, 3}, {1, 3}, {2, 3}, {3, 5}, {4, 5}, {5, 8}, {7, 8},
+		{-4, 3},  // clamps like At
+		{99, 8},  // past the end
+	}
+	for _, c := range cases {
+		if got := tr.NextChange(c.at); got != c.want {
+			t.Errorf("NextChange(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	flat := MustNew(make([]float64, 50))
+	if got := flat.NextChange(0); got != 50 {
+		t.Errorf("constant trace NextChange = %d, want len", got)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	tr := MustNew([]float64{0, 2, 4, 6, 10, 20, 30, 40, 5})
+	q, err := tr.Quantize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 3, 3, 3, 25, 25, 25, 25, 5}
+	for i, w := range want {
+		if math.Abs(q.At(i)-w) > 1e-12 {
+			t.Errorf("quantized[%d] = %v, want %v", i, q.At(i), w)
+		}
+	}
+	if q.Len() != tr.Len() {
+		t.Errorf("length changed: %d vs %d", q.Len(), tr.Len())
+	}
+	// Quantizing preserves the mean exactly up to rounding.
+	if math.Abs(q.Mean()-tr.Mean()) > 1e-9 {
+		t.Errorf("mean drifted: %v vs %v", q.Mean(), tr.Mean())
+	}
+	if _, err := tr.Quantize(0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := tr.Quantize(-3); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+func TestQuantizeSparsifiesChanges(t *testing.T) {
+	cfg := DefaultWorldCupConfig()
+	cfg.Days = 1
+	cfg.Seed = 5
+	tr, err := GenerateWorldCup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tr.Quantize(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	for u := 0; u < q.Len(); u = q.NextChange(u) {
+		changes++
+	}
+	if maxChanges := q.Len()/300 + 2; changes > maxChanges {
+		t.Errorf("quantized trace has %d change points, want ≤ %d", changes, maxChanges)
+	}
+}

@@ -169,6 +169,56 @@ func (t *Trace) SlidingMax(width int) ([]float64, error) {
 	return out, nil
 }
 
+// NextChange returns the first second u > i at which the load differs from
+// the load at i, or Len() when the trace is constant from i onward.
+// Negative i clamps to 0; i at or past the end returns Len(). This is the
+// event-driven simulator's trace-change event source.
+func (t *Trace) NextChange(i int) int {
+	n := len(t.values)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		return n
+	}
+	v := t.values[i]
+	for u := i + 1; u < n; u++ {
+		if t.values[u] != v {
+			return u
+		}
+	}
+	return n
+}
+
+// Quantize returns a trace of the same length where each window of width
+// seconds is replaced by that window's mean — a piecewise-constant trace
+// modeling load known at coarser-than-1 Hz granularity (e.g. per-minute
+// aggregated access logs). The trailing partial window averages its own
+// samples. Quantized traces are what make the event-driven simulator
+// dramatically faster than the 1 Hz tick loop: fewer load changes means
+// fewer events.
+func (t *Trace) Quantize(width int) (*Trace, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("trace: invalid quantize width %d", width)
+	}
+	out := make([]float64, len(t.values))
+	for start := 0; start < len(t.values); start += width {
+		end := start + width
+		if end > len(t.values) {
+			end = len(t.values)
+		}
+		sum := 0.0
+		for _, v := range t.values[start:end] {
+			sum += v
+		}
+		mean := sum / float64(end-start)
+		for i := start; i < end; i++ {
+			out[i] = mean
+		}
+	}
+	return New(out)
+}
+
 // Scale returns a copy with every sample multiplied by f (>= 0).
 func (t *Trace) Scale(f float64) (*Trace, error) {
 	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {

@@ -1,0 +1,148 @@
+package wc98
+
+// Golden regression test: the four scenarios' total and per-day energies
+// (the Figure 5 series) for the bundled WC'98-style trace are locked into
+// testdata/golden_fig5.json. Refactors of the simulator, scheduler, or
+// power model that silently drift the paper's reproduced numbers fail
+// here. Regenerate deliberately with:
+//
+//	go test ./internal/wc98 -run Golden -update
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden Figure 5 snapshot")
+
+// goldenRelTol is the per-value relative tolerance. The simulation is
+// deterministic, but transcendental-math and FMA differences across
+// architectures can shift trace values in the last ulp; the tolerance
+// absorbs that without letting real model drift through.
+const goldenRelTol = 1e-6
+
+const goldenPath = "testdata/golden_fig5.json"
+
+type goldenFile struct {
+	Days     int                   `json:"days"`
+	PeakRate float64               `json:"peak_rate"`
+	Seed     int64                 `json:"seed"`
+	Rows     int                   `json:"rows"`
+	Series   map[string]goldenFig5 `json:"series"`
+}
+
+type goldenFig5 struct {
+	TotalJ float64   `json:"total_j"`
+	DailyJ []float64 `json:"daily_j"`
+}
+
+// goldenEvaluation runs the locked configuration: a compressed 3-day
+// WC'98-style trace (the full 92-day run belongs to cmd/bmlsim).
+func goldenEvaluation(t *testing.T) (*Evaluation, goldenFile) {
+	t.Helper()
+	meta := goldenFile{Days: 3, PeakRate: 5000, Seed: 1998}
+	cfg := trace.DefaultWorldCupConfig()
+	cfg.Days = meta.Days
+	cfg.PeakRate = meta.PeakRate
+	cfg.Seed = meta.Seed
+	tr, err := trace.GenerateWorldCup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Run(tr, profile.PaperMachines(), Config{FirstDay: 1, LastDay: meta.Days})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, meta
+}
+
+func seriesOf(ev *Evaluation) map[string]goldenFig5 {
+	out := make(map[string]goldenFig5, len(ev.Results))
+	for name, res := range ev.Results {
+		s := goldenFig5{TotalJ: float64(res.TotalEnergy)}
+		for _, d := range res.DailyEnergy {
+			s.DailyJ = append(s.DailyJ, float64(d))
+		}
+		out[name] = s
+	}
+	return out
+}
+
+func TestGoldenFig5Series(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day golden run")
+	}
+	ev, meta := goldenEvaluation(t)
+	got := seriesOf(ev)
+
+	if *updateGolden {
+		meta.Rows = len(ev.Rows)
+		meta.Series = got
+		blob, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Days != meta.Days || want.PeakRate != meta.PeakRate || want.Seed != meta.Seed {
+		t.Fatalf("golden config %+v does not match test config %+v — regenerate with -update", want, meta)
+	}
+	if len(ev.Rows) != want.Rows {
+		t.Errorf("rows = %d, want %d", len(ev.Rows), want.Rows)
+	}
+	for name, ws := range want.Series {
+		gs, ok := got[name]
+		if !ok {
+			t.Errorf("scenario %q missing from evaluation", name)
+			continue
+		}
+		checkRel(t, name+"/total", gs.TotalJ, ws.TotalJ)
+		if len(gs.DailyJ) != len(ws.DailyJ) {
+			t.Errorf("%s: daily series length %d, want %d", name, len(gs.DailyJ), len(ws.DailyJ))
+			continue
+		}
+		for d := range ws.DailyJ {
+			checkRel(t, name+"/day", gs.DailyJ[d], ws.DailyJ[d])
+		}
+	}
+	for name := range got {
+		if _, ok := want.Series[name]; !ok {
+			t.Errorf("new scenario %q absent from golden file — regenerate with -update", name)
+		}
+	}
+}
+
+func checkRel(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	denom := math.Abs(want)
+	if denom < 1 {
+		denom = 1
+	}
+	if math.Abs(got-want)/denom > goldenRelTol {
+		t.Errorf("%s: %.6f J drifted from golden %.6f J (rel %.2e)",
+			label, got, want, math.Abs(got-want)/denom)
+	}
+}

@@ -82,6 +82,9 @@ type Config struct {
 	FirstDay, LastDay int
 	// BML forwards scenario options to sim.RunBML.
 	BML sim.BMLConfig
+	// Sim forwards engine options (e.g. sim.WithTickEngine) to every
+	// scenario run.
+	Sim []sim.Option
 }
 
 // Run executes all four scenarios of §V-C over tr with the given machine
@@ -108,7 +111,7 @@ func Run(tr *trace.Trace, machines []profile.Arch, cfg Config) (*Evaluation, err
 		return nil, fmt.Errorf("wc98: invalid day range [%d, %d] for %d-day trace", first, last, tr.Days())
 	}
 
-	set, err := sim.RunAll(tr, planner, cfg.BML)
+	set, err := sim.RunAll(tr, planner, cfg.BML, cfg.Sim...)
 	if err != nil {
 		return nil, fmt.Errorf("wc98: scenarios: %w", err)
 	}

@@ -437,6 +437,76 @@ func BenchmarkSweepGrid(b *testing.B) {
 	}
 }
 
+// fleetTraces caches the quantized month trace scaled so the scheduler's
+// peak combination provisions ~n machines, together with a prebuilt
+// look-ahead predictor: predictor precomputation is O(trace) and identical
+// for both cluster index implementations, so keeping it out of the timed
+// loop lets the benchmark isolate the heap-vs-scan difference.
+type fleetRig struct {
+	tr   *trace.Trace
+	pred predict.Predictor
+}
+
+var fleetRigs = map[int]fleetRig{}
+
+func fleetBenchRig(b *testing.B, n int) fleetRig {
+	b.Helper()
+	if rig, ok := fleetRigs[n]; ok {
+		return rig
+	}
+	base := engineBenchTrace(b, 30)
+	planner := getPlanner(b)
+	baseNodes := planner.Combination(base.Max()).TotalNodes()
+	if baseNodes < 1 {
+		baseNodes = 1
+	}
+	tr, err := base.Scale(float64(n) / float64(baseNodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := predict.NewLookaheadMax(tr, 378)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rig := fleetRig{tr: tr, pred: pred}
+	fleetRigs[n] = rig
+	return rig
+}
+
+// BenchmarkFleetScaling measures the event engine on the quantized month
+// trace at fleet scales of 100, 1 000, and 10 000 machines, with the
+// cluster's transition min-heap + pool aggregates (heap) against the
+// original O(fleet)-scan-per-event implementation (scan, the baseline
+// retained behind cluster.WithScanIndex). The acceptance bar for this PR
+// is ≥5× at 10 000 machines; the snapshot lives in BENCH_sim.json.
+func BenchmarkFleetScaling(b *testing.B) {
+	planner := getPlanner(b)
+	for _, n := range []int{100, 1000, 10000} {
+		rig := fleetBenchRig(b, n)
+		for _, idx := range []struct {
+			name string
+			scan bool
+		}{
+			{"heap", false},
+			{"scan", true},
+		} {
+			b.Run(fmt.Sprintf("fleet=%d/%s", n, idx.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var switchOns int
+				for i := 0; i < b.N; i++ {
+					res, err := sim.RunBML(rig.tr, planner, sim.BMLConfig{Predictor: rig.pred, ScanIndex: idx.scan})
+					if err != nil {
+						b.Fatal(err)
+					}
+					switchOns = res.SwitchOns
+					b.ReportMetric(float64(res.TotalEnergy)/3.6e6, "kWh")
+				}
+				b.ReportMetric(float64(switchOns), "switch-ons")
+			})
+		}
+	}
+}
+
 // BenchmarkExactSolver measures the DP table construction cost (the
 // LowerBound scenario's dominant setup).
 func BenchmarkExactSolver(b *testing.B) {

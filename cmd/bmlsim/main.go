@@ -11,7 +11,20 @@
 //	bmlsim -trace trace.txt        # replay a saved trace file
 //	bmlsim -predictor ewma -error 0.2   # prediction ablations
 //	bmlsim -quantize 60            # piecewise-constant load (1-min log granularity)
-//	bmlsim -engine tick            # legacy 1 Hz loop (differential oracle)
+//	bmlsim -fleet 1000             # scale the load so the peak fleet is ~1000 machines
+//	bmlsim -engine tick            # legacy 1 Hz loop (oracle only — see below)
+//
+// The -fleet flag multiplies the trace so the scheduler's peak combination
+// provisions approximately N machines instead of the paper's handful —
+// the thousand-node regime the cluster's transition min-heap and the
+// planner's lazy combination lookup exist for. Large -fleet values make
+// the LowerBound scenario's dense DP setup the dominant cost; combine
+// with -quantize for fast large-fleet runs.
+//
+// The tick engine (-engine tick) is retained only as the differential-
+// testing oracle for the event engine: it re-derives every value one
+// simulated second at a time, costs O(trace-seconds × fleet), and should
+// never be used for real evaluations.
 package main
 
 import (
@@ -21,6 +34,7 @@ import (
 	"os"
 
 	"repro/internal/app"
+	"repro/internal/bml"
 	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -48,8 +62,9 @@ func main() {
 		amortize  = flag.Float64("amortize", 0, "amortization horizon in seconds for -overhead-aware (0 = 378)")
 		critical  = flag.Bool("critical", false, "treat the application as QoS-critical (20% capacity headroom)")
 		chart     = flag.Bool("chart", false, "render the Figure 5 series as an ASCII chart")
-		engine    = flag.String("engine", "event", "simulation engine: event (fast, default) | tick (legacy 1 Hz oracle)")
+		engine    = flag.String("engine", "event", "simulation engine: event (fast, default) | tick (legacy 1 Hz differential oracle, slow)")
 		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds (0 = raw 1 Hz trace)")
+		fleet     = flag.Int("fleet", 0, "scale the trace so the scheduler's peak fleet has ~N machines (0 = paper scale)")
 	)
 	flag.Parse()
 
@@ -80,12 +95,31 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *fleet < 0 {
+		log.Fatalf("invalid -fleet %d (want a target machine count)", *fleet)
+	}
+	if *fleet > 0 {
+		planner, perr := bml.NewPlanner(profile.PaperMachines())
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		base := planner.Combination(tr.Max()).TotalNodes()
+		if base < 1 {
+			base = 1
+		}
+		factor := float64(*fleet) / float64(base)
+		if tr, err = tr.Scale(factor); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet scaling: load ×%.1f (paper-scale peak fleet %d machines → ~%d)", factor, base, *fleet)
+	}
 	var simOpts []sim.Option
 	switch *engine {
 	case "event", "":
 		// Default: event-driven engine.
 	case "tick":
 		simOpts = append(simOpts, sim.WithTickEngine())
+		log.Printf("warning: the tick engine is retained only as the differential-testing oracle; it costs O(trace-seconds × fleet) — use the default event engine for real runs")
 	default:
 		log.Fatalf("unknown engine %q (want event or tick)", *engine)
 	}

@@ -135,6 +135,25 @@ func TestCmdBMLSim(t *testing.T) {
 	}
 }
 
+func TestCmdBMLSimFleetScaling(t *testing.T) {
+	out := runCmd(t, "bmlsim", "-days", "1", "-first", "1", "-last", "1",
+		"-quantize", "600", "-fleet", "150")
+	if !strings.Contains(out, "fleet scaling: load ×") {
+		t.Errorf("fleet-scaling note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scheduler:") {
+		t.Errorf("fleet-scaled run did not complete:\n%s", out)
+	}
+}
+
+func TestCmdBMLSimTickEngineWarnsOracleOnly(t *testing.T) {
+	out := runCmd(t, "bmlsim", "-days", "1", "-first", "1", "-last", "1",
+		"-quantize", "600", "-engine", "tick")
+	if !strings.Contains(out, "differential-testing oracle") {
+		t.Errorf("tick engine did not warn about oracle-only status:\n%s", out)
+	}
+}
+
 func TestCmdBMLSimAblationFlags(t *testing.T) {
 	out := runCmd(t, "bmlsim", "-days", "2", "-first", "1", "-last", "2",
 		"-overhead-aware", "-predictor", "pattern", "-critical")

@@ -1,0 +1,63 @@
+package bml
+
+import (
+	"math"
+	"sync"
+)
+
+// Lookup is the rate→combination interface the scheduler consumes. *Table
+// (dense precomputation) and *LazyTable (memoized on demand) both satisfy
+// it; they return identical combinations for identical rates.
+type Lookup interface {
+	// At returns the ideal combination for the given rate, rounding demand
+	// up to the planner's grid and clamping to the lookup's maximum rate.
+	At(rate float64) Combination
+}
+
+// LazyTable memoizes Combination queries on the planner's rate grid
+// instead of precomputing a dense table. A dense Table over a rate range R
+// costs O(R/step) memory up front, which is prohibitive for fleet-scaled
+// simulations whose peak rates reach tens of millions; a simulation only
+// ever queries as many distinct grid rates as it sees distinct predictions,
+// so the lazy form stays small. It is safe for concurrent use (scenario
+// sweeps share planners across goroutines).
+type LazyTable struct {
+	p      *Planner
+	maxIdx int
+
+	mu   sync.Mutex
+	memo map[int]Combination
+}
+
+// LazyTable returns a memoizing rate→combination lookup over [0, maxRate],
+// equivalent to Table(maxRate) entry for entry.
+func (p *Planner) LazyTable(maxRate float64) *LazyTable {
+	n := int(math.Ceil(maxRate/p.step - 1e-9))
+	if n < 0 {
+		n = 0
+	}
+	return &LazyTable{p: p, maxIdx: n, memo: make(map[int]Combination)}
+}
+
+// At returns the combination for the given rate with Table.At's exact
+// rounding and clamping semantics, computing and caching it on first use.
+func (t *LazyTable) At(rate float64) Combination {
+	k := 0
+	if rate > 0 {
+		k = int(math.Ceil(rate/t.p.step - 1e-9))
+		if k > t.maxIdx {
+			k = t.maxIdx
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.memo[k]; ok {
+		return c
+	}
+	c := t.p.Combination(float64(k) * t.p.step)
+	t.memo[k] = c
+	return c
+}
+
+// MaxRate returns the largest grid rate the lookup serves.
+func (t *LazyTable) MaxRate() float64 { return float64(t.maxIdx) * t.p.step }

@@ -2,6 +2,19 @@
 // reconfigures: one pool of machines per architecture, switch-on/switch-off
 // actions toward a target combination, fill-biggest-first load dispatch
 // across powered-on nodes, and aggregate energy accounting.
+//
+// The fleet is indexed for event-driven simulation at scale. Each pool keeps
+// its non-Off machines on an active list, its reusable Off machines on a
+// free list, and per-state counters, so Counts, Capacity, and Reconfiguring
+// are O(architectures) and Distribute/Tick are O(powered machines) rather
+// than O(fleet). Pending transitions live in a min-heap keyed by absolute
+// completion time with lazy invalidation (transheap.go), making
+// NextTransitionEnd — the event engine's wake-up signal — an O(1) peek.
+// The original linear scans are retained as unexported reference
+// implementations; the differential tests in differential_test.go hold the
+// indexed answers to the scanned ones on randomized fleets and fault
+// schedules, and WithScanIndex re-routes the public API through them as the
+// benchmarking baseline.
 package cluster
 
 import (
@@ -16,16 +29,90 @@ import (
 	"repro/internal/profile"
 )
 
+// node wraps one machine with the bookkeeping the transition index needs.
+type node struct {
+	m *machine.Machine
+	// seq counts transitions started on this machine; heap entries record
+	// the value at push time so entries from resolved transitions can be
+	// recognized as stale.
+	seq uint64
+	// booting records the direction of the current transition, so the
+	// completion fold knows which counter to release without having
+	// observed the pre-tick state.
+	booting bool
+}
+
+// pool groups the machines of one architecture. Machines within a pool are
+// identical, which is what makes aggregate integration possible: the On
+// fleet's draw is a closed form of how many nodes run full, partial, and
+// idle, so Tick and Distribute cost O(1) per pool on the hot path instead
+// of O(nodes).
+//
+// Shape invariant: the on list always materializes the fill-first pattern
+// — a prefix of distFull fully loaded nodes, then at most one partial
+// node, then an idle tail — because Distribute assigns along the list,
+// admissions append idle nodes at the tail, and retirements take the tail
+// first (the least-loaded nodes, exactly as the paper's policy wants).
+// Loads are therefore non-increasing along the list at all times, which
+// is what lets retirement selection and the cached aggregate draw skip
+// per-machine scans entirely.
+type pool struct {
+	arch profile.Arch
+	// nodes is every machine ever provisioned, in creation order.
+	nodes []*node
+	// on holds the On machines in a stable order; Distribute assigns load
+	// fill-first along this order (a prefix of full nodes, at most one
+	// partial node, idle tail).
+	on []*node
+	// trans holds the Booting and ShuttingDown machines; they are the only
+	// machines ticked individually on the hot path (their automata charge
+	// the exact per-transition energies).
+	trans []*node
+	// free holds Off machines available for reuse, most recently freed
+	// last.
+	free []*node
+	// nBooting counts the boots in trans (shutdowns are the rest).
+	nBooting int
+
+	// Aggregate distribution state: machines on[0:distFull] carry MaxPerf,
+	// on[distFull] carries distRem when distHasPartial, the rest idle.
+	distFull       int
+	distRem        float64
+	distHasPartial bool
+	// onPowerW caches the closed-form instantaneous draw of the On fleet;
+	// every mutation (dispatch, admissions, retirements) keeps it current.
+	// aggIdle/aggDyn accumulate the pool-level energy split with Neumaier
+	// compensation, mirroring what per-machine integration would have
+	// charged.
+	onPowerW             float64
+	aggIdle, aggIdleComp float64
+	aggDyn, aggDynComp   float64
+}
+
+// nShuttingDown counts the shutdowns in trans.
+func (p *pool) nShuttingDown() int { return len(p.trans) - p.nBooting }
+
 // Cluster is a fleet of machines grouped by architecture. It is not safe
 // for concurrent use; drive it from a single simulation loop.
 type Cluster struct {
 	archs     []profile.Arch // Big→Little
 	byName    map[string]profile.Arch
-	pools     map[string][]*machine.Machine
+	pools     map[string]*pool
+	poolList  []*pool // aligned with archs
 	nextID    map[string]int
 	inventory map[string]int // optional per-arch machine limit; absent = unlimited
 	faultProb float64        // probability that a boot fails at completion
 	faultRng  *rand.Rand
+
+	// now is the cluster's simulation clock, advanced by Tick. It only
+	// keys the transition heap; machine automata keep their own countdowns.
+	now         float64
+	pushTick    uint64
+	transitions transHeap
+
+	// scanIndex routes the public API through the original O(fleet) linear
+	// scans — the differential/benchmark baseline.
+	scanIndex bool
 }
 
 // Option customizes cluster construction.
@@ -59,6 +146,15 @@ func WithBootFaults(prob float64, seed int64) Option {
 	}
 }
 
+// WithScanIndex answers every fleet query with the original O(fleet)
+// linear scans instead of the transition heap and pool aggregates. It
+// exists as the differential-testing and benchmarking baseline (the
+// "linear-scan baseline" of BENCH_sim.json); simulations should never
+// need it.
+func WithScanIndex() Option {
+	return func(c *Cluster) { c.scanIndex = true }
+}
+
 // New creates an empty cluster able to host machines of the given
 // architectures (ordered Big→Little internally).
 func New(archs []profile.Arch, opts ...Option) (*Cluster, error) {
@@ -67,7 +163,7 @@ func New(archs []profile.Arch, opts ...Option) (*Cluster, error) {
 	}
 	c := &Cluster{
 		byName: make(map[string]profile.Arch, len(archs)),
-		pools:  make(map[string][]*machine.Machine, len(archs)),
+		pools:  make(map[string]*pool, len(archs)),
 		nextID: make(map[string]int, len(archs)),
 	}
 	for _, a := range archs {
@@ -86,6 +182,11 @@ func New(archs []profile.Arch, opts ...Option) (*Cluster, error) {
 		}
 		return c.archs[i].Name < c.archs[j].Name
 	})
+	for _, a := range c.archs {
+		p := &pool{arch: a}
+		c.pools[a.Name] = p
+		c.poolList = append(c.poolList, p)
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -100,9 +201,26 @@ func (c *Cluster) Architectures() []profile.Arch {
 // activeCount returns the number of machines counting toward the target:
 // On plus Booting (a booting machine has been committed to the target).
 func (c *Cluster) activeCount(arch string) int {
+	if c.scanIndex {
+		return c.activeCountScan(arch)
+	}
+	p := c.pools[arch]
+	if p == nil {
+		return 0
+	}
+	return len(p.on) + p.nBooting
+}
+
+// activeCountScan is the original O(pool) implementation, kept as the
+// differential-test reference.
+func (c *Cluster) activeCountScan(arch string) int {
 	n := 0
-	for _, m := range c.pools[arch] {
-		if s := m.State(); s == machine.On || s == machine.Booting {
+	p := c.pools[arch]
+	if p == nil {
+		return 0
+	}
+	for _, nd := range p.nodes {
+		if s := nd.m.State(); s == machine.On || s == machine.Booting {
 			n++
 		}
 	}
@@ -123,15 +241,18 @@ func (c *Cluster) Counts() map[string]int {
 // OnCounts returns only fully powered-on machines per architecture.
 func (c *Cluster) OnCounts() map[string]int {
 	out := make(map[string]int, len(c.archs))
-	for _, a := range c.archs {
-		n := 0
-		for _, m := range c.pools[a.Name] {
-			if m.State() == machine.On {
-				n++
+	for _, p := range c.poolList {
+		n := len(p.on)
+		if c.scanIndex {
+			n = 0
+			for _, nd := range p.nodes {
+				if nd.m.State() == machine.On {
+					n++
+				}
 			}
 		}
 		if n > 0 {
-			out[a.Name] = n
+			out[p.arch.Name] = n
 		}
 	}
 	return out
@@ -151,73 +272,187 @@ func (c *Cluster) SetTarget(target map[string]int) (switchedOn, switchedOff int,
 			return switchedOn, switchedOff, fmt.Errorf("cluster: negative target %d for %q", want, name)
 		}
 	}
-	for _, a := range c.archs {
-		want := target[a.Name]
-		have := c.activeCount(a.Name)
+	for _, p := range c.poolList {
+		want := target[p.arch.Name]
+		have := c.activeCount(p.arch.Name)
 		switch {
 		case have < want:
 			for have < want {
-				m, perr := c.provision(a)
+				nd, perr := c.provision(p)
 				if perr != nil {
 					return switchedOn, switchedOff, perr
 				}
 				if c.faultProb > 0 && c.faultRng.Float64() < c.faultProb {
-					m.InjectBootFailure()
+					nd.m.InjectBootFailure()
 				}
-				if perr := m.PowerOn(); perr != nil {
+				if perr := nd.m.PowerOn(); perr != nil {
 					return switchedOn, switchedOff, perr
 				}
+				c.startedTransition(p, nd)
 				switchedOn++
 				have++
 			}
-		case have > want:
-			// Switch off On machines first (Booting machines cannot be
-			// aborted in the paper's model: On/Off actions run to
-			// completion). Prefer the least-loaded nodes.
-			on := c.onMachines(a.Name)
-			sort.Slice(on, func(i, j int) bool { return on[i].Load() < on[j].Load() })
-			for _, m := range on {
+		case have > want && c.scanIndex:
+			// Original behavior: sort the On machines by load and switch
+			// the least-loaded off.
+			on := c.onNodesByLoadScan(p)
+			for _, nd := range on {
 				if have <= want {
 					break
 				}
-				if perr := m.PowerOff(); perr != nil {
+				if perr := nd.m.PowerOff(); perr != nil {
 					return switchedOn, switchedOff, perr
 				}
+				c.startedShutdown(p, nd)
 				switchedOff++
 				have--
+			}
+			// Remove the victims from the On list (scan mode keeps no
+			// positional invariant, so compact generically).
+			kept := p.on[:0]
+			for _, nd := range p.on {
+				if nd.m.State() == machine.On {
+					kept = append(kept, nd)
+				}
+			}
+			p.on = kept
+		case have > want:
+			// Switch off On machines first (Booting machines cannot be
+			// aborted in the paper's model: On/Off actions run to
+			// completion). The shape invariant orders the on list by
+			// non-increasing load, so the least-loaded nodes are exactly
+			// the tail: retirement is O(retired), no sort, no scan.
+			n := len(p.on)
+			removed := 0
+			for have > want && removed < n {
+				nd := p.on[n-1-removed]
+				if perr := nd.m.PowerOff(); perr != nil {
+					return switchedOn, switchedOff, perr
+				}
+				c.startedShutdown(p, nd)
+				removed++
+				switchedOff++
+				have--
+			}
+			if removed > 0 {
+				newN := n - removed
+				p.on = p.on[:newN]
+				if loaded := p.loadedCount(); newN >= loaded {
+					// Only idle-tail nodes retired: the prefix (and its
+					// draw minus the lost idle draw) is untouched.
+					p.onPowerW -= float64(removed) * float64(p.arch.IdlePower)
+				} else {
+					// The retirement ate into the loaded prefix; every
+					// survivor is fully loaded.
+					p.distFull = newN
+					p.distRem = 0
+					p.distHasPartial = false
+					p.onPowerW = float64(newN) * float64(p.arch.MaxPower)
+				}
 			}
 		}
 	}
 	return switchedOn, switchedOff, nil
 }
 
-// provision finds an Off machine to reuse or creates a new one.
-func (c *Cluster) provision(a profile.Arch) (*machine.Machine, error) {
-	for _, m := range c.pools[a.Name] {
-		if m.State() == machine.Off {
-			return m, nil
+// startedTransition updates the index after a successful PowerOn: the node
+// joins the transitioning list and — unless the boot resolved instantly —
+// the transition heap.
+func (c *Cluster) startedTransition(p *pool, nd *node) {
+	nd.seq++
+	switch nd.m.State() {
+	case machine.Booting:
+		nd.booting = true
+		p.trans = append(p.trans, nd)
+		p.nBooting++
+		c.pushTransition(nd)
+	case machine.On: // zero-duration boot resolved inside PowerOn
+		p.admitOn(nd)
+	}
+}
+
+// admitOn adds a freshly powered (idle) machine to the On list and folds
+// its idle draw into the cached aggregate. The newcomer sits past the
+// distribution prefix with zero load, so the shape invariant holds.
+func (p *pool) admitOn(nd *node) {
+	p.on = append(p.on, nd)
+	p.onPowerW += float64(p.arch.IdlePower)
+}
+
+// startedShutdown updates the index after a successful PowerOff of an On
+// machine. The caller removes the node from the on list (possibly in
+// batch); this handles the transition side.
+func (c *Cluster) startedShutdown(p *pool, nd *node) {
+	nd.seq++
+	switch nd.m.State() {
+	case machine.ShuttingDown:
+		nd.booting = false
+		p.trans = append(p.trans, nd)
+		c.pushTransition(nd)
+	case machine.Off: // zero-duration shutdown resolved inside PowerOff
+		p.free = append(p.free, nd)
+	}
+}
+
+// removeFree drops nd from the free list, preserving order.
+func (p *pool) removeFree(nd *node) {
+	for i, x := range p.free {
+		if x == nd {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			return
 		}
 	}
-	if limit, capped := c.inventory[a.Name]; capped && len(c.pools[a.Name]) >= limit {
-		return nil, fmt.Errorf("cluster: inventory of %q exhausted (%d machines)", a.Name, limit)
+}
+
+// provision finds an Off machine to reuse or creates a new one.
+func (c *Cluster) provision(p *pool) (*node, error) {
+	if c.scanIndex {
+		// Original behavior: first Off machine in creation order.
+		for _, nd := range p.nodes {
+			if nd.m.State() == machine.Off {
+				p.removeFree(nd)
+				return nd, nil
+			}
+		}
+	} else if n := len(p.free); n > 0 {
+		nd := p.free[n-1]
+		p.free = p.free[:n-1]
+		return nd, nil
 	}
-	c.nextID[a.Name]++
-	m, err := machine.New(fmt.Sprintf("%s-%d", a.Name, c.nextID[a.Name]), a)
+	if limit, capped := c.inventory[p.arch.Name]; capped && len(p.nodes) >= limit {
+		return nil, fmt.Errorf("cluster: inventory of %q exhausted (%d machines)", p.arch.Name, limit)
+	}
+	c.nextID[p.arch.Name]++
+	m, err := machine.New(fmt.Sprintf("%s-%d", p.arch.Name, c.nextID[p.arch.Name]), p.arch)
 	if err != nil {
 		return nil, err
 	}
-	c.pools[a.Name] = append(c.pools[a.Name], m)
-	return m, nil
+	nd := &node{m: m}
+	p.nodes = append(p.nodes, nd)
+	return nd, nil
 }
 
-// onMachines returns the On machines of one architecture.
-func (c *Cluster) onMachines(arch string) []*machine.Machine {
-	var out []*machine.Machine
-	for _, m := range c.pools[arch] {
-		if m.State() == machine.On {
-			out = append(out, m)
+// loadedCount returns how many nodes of the pool carry load under the
+// current distribution (the full prefix plus the partial node, if any).
+func (p *pool) loadedCount() int {
+	if p.distHasPartial {
+		return p.distFull + 1
+	}
+	return p.distFull
+}
+
+// onNodesByLoadScan returns the On machines of one pool sorted by
+// ascending load — the original retirement-selection implementation, used
+// by the WithScanIndex baseline (the indexed path reads the shape
+// invariant instead and never sorts).
+func (c *Cluster) onNodesByLoadScan(p *pool) []*node {
+	var out []*node
+	for _, nd := range p.nodes {
+		if nd.m.State() == machine.On {
+			out = append(out, nd)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].m.Load() < out[j].m.Load() })
 	return out
 }
 
@@ -225,19 +460,33 @@ func (c *Cluster) onMachines(arch string) []*machine.Machine {
 // then by creation order.
 func (c *Cluster) Machines() []*machine.Machine {
 	var out []*machine.Machine
-	for _, a := range c.archs {
-		out = append(out, c.pools[a.Name]...)
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			out = append(out, nd.m)
+		}
 	}
 	return out
 }
 
 // Capacity returns the total rate the currently On machines can sustain.
 func (c *Cluster) Capacity() float64 {
+	if c.scanIndex {
+		return c.capacityScan()
+	}
 	var cap float64
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			if m.State() == machine.On {
-				cap += a.MaxPerf
+	for _, p := range c.poolList {
+		cap += float64(len(p.on)) * p.arch.MaxPerf
+	}
+	return cap
+}
+
+// capacityScan is the original O(fleet) implementation (reference).
+func (c *Cluster) capacityScan() float64 {
+	var cap float64
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			if nd.m.State() == machine.On {
+				cap += p.arch.MaxPerf
 			}
 		}
 	}
@@ -247,9 +496,22 @@ func (c *Cluster) Capacity() float64 {
 // Reconfiguring reports whether any machine is mid-transition — the
 // condition under which the paper's scheduler defers all decisions.
 func (c *Cluster) Reconfiguring() bool {
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			if s := m.State(); s == machine.Booting || s == machine.ShuttingDown {
+	if c.scanIndex {
+		return c.reconfiguringScan()
+	}
+	for _, p := range c.poolList {
+		if len(p.trans) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reconfiguringScan is the original O(fleet) implementation (reference).
+func (c *Cluster) reconfiguringScan() bool {
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			if nd.m.Transitioning() {
 				return true
 			}
 		}
@@ -260,10 +522,29 @@ func (c *Cluster) Reconfiguring() bool {
 // PendingTransition returns the longest remaining transition time across
 // the fleet (zero when idle).
 func (c *Cluster) PendingTransition() float64 {
+	if c.scanIndex {
+		return c.pendingTransitionScan()
+	}
+	// The heap orders by the shortest end; the longest is found by walking
+	// the live entries — O(transitioning machines), not O(fleet).
 	var max float64
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			if r := m.Remaining(); r > max {
+	for _, e := range c.transitions {
+		if e.stale() {
+			continue
+		}
+		if r := e.nd.m.Remaining(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// pendingTransitionScan is the original O(fleet) implementation (reference).
+func (c *Cluster) pendingTransitionScan() float64 {
+	var max float64
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			if r := nd.m.Remaining(); r > max {
 				max = r
 			}
 		}
@@ -274,12 +555,29 @@ func (c *Cluster) PendingTransition() float64 {
 // NextTransitionEnd returns the shortest remaining transition time across
 // the fleet (zero when no machine is transitioning) — the next instant at
 // which a machine changes state on its own, which is the event-driven
-// simulator's wake-up signal.
+// simulator's wake-up signal. With the transition heap this is an O(1)
+// peek (plus amortized O(log n) lazy pruning of resolved transitions).
 func (c *Cluster) NextTransitionEnd() float64 {
+	if c.scanIndex {
+		return c.nextTransitionEndScan()
+	}
+	c.pruneTransitions()
+	if len(c.transitions) == 0 {
+		return 0
+	}
+	// Return the machine's own countdown, not end-now: the automaton's
+	// remaining time is the value the scan-based reference reports and the
+	// one whose arithmetic the engines rely on.
+	return c.transitions[0].nd.m.Remaining()
+}
+
+// nextTransitionEndScan is the original O(fleet) implementation, kept as
+// the differential-test reference and the WithScanIndex baseline.
+func (c *Cluster) nextTransitionEndScan() float64 {
 	var min float64
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			if r := m.Remaining(); r > 0 && (min == 0 || r < min) {
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			if r := nd.m.Remaining(); r > 0 && (min == 0 || r < min) {
 				min = r
 			}
 		}
@@ -291,18 +589,96 @@ func (c *Cluster) NextTransitionEnd() float64 {
 // architectures' nodes completely before touching smaller ones (machines
 // are most energy efficient fully loaded). It returns the rate actually
 // served, which is less than load when capacity is insufficient.
+//
+// The fill-first assignment within a pool of identical machines is always
+// a prefix of full nodes, at most one partial node, and an idle tail, so
+// the pool's share and aggregate draw are computed in closed form and only
+// the machines whose assignment actually changed since the previous call
+// are touched: steady-state dispatch costs O(architectures), not
+// O(powered machines).
 func (c *Cluster) Distribute(load float64) (served float64, err error) {
 	if load < 0 || math.IsNaN(load) || math.IsInf(load, 0) {
 		return 0, fmt.Errorf("cluster: invalid load %v", load)
 	}
+	if c.scanIndex {
+		return c.distributeScan(load)
+	}
 	remaining := load
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			if m.State() != machine.On {
+	for _, p := range c.poolList {
+		n := len(p.on)
+		if n == 0 {
+			continue
+		}
+		maxPerf := p.arch.MaxPerf
+		full := 0
+		rem := 0.0
+		hasPartial := false
+		if remaining > 0 {
+			if fullF := math.Floor(remaining / maxPerf); fullF >= float64(n) {
+				full = n
+			} else {
+				full = int(fullF)
+			}
+			rem = remaining - float64(full)*maxPerf
+			if rem < 0 || full == n {
+				rem = 0
+			}
+			hasPartial = rem > 0
+		}
+		// Materialize per-machine loads. The shape invariant means only
+		// machines between the old and new full/partial boundary can
+		// change, so steady-state dispatch touches O(1) machines.
+		lo := min(full, p.distFull)
+		hi := max(full, p.distFull)
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for i := lo; i <= hi; i++ {
+			var want float64
+			switch {
+			case i < full:
+				want = maxPerf
+			case i == full && hasPartial:
+				want = rem
+			}
+			if nd := p.on[i]; nd.m.Load() != want {
+				if err := nd.m.SetLoad(want); err != nil {
+					return served, err
+				}
+			}
+		}
+		p.distFull, p.distRem, p.distHasPartial = full, rem, hasPartial
+		// Cached aggregate draw of the whole pool, used by Tick.
+		pw := float64(full) * float64(p.arch.MaxPower)
+		idleNodes := n - full
+		if hasPartial {
+			pw += float64(p.arch.PowerAt(rem))
+			idleNodes--
+		}
+		pw += float64(idleNodes) * float64(p.arch.IdlePower)
+		p.onPowerW = pw
+
+		servedP := float64(full)*maxPerf + rem
+		served += servedP
+		remaining -= servedP
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return served, nil
+}
+
+// distributeScan is the original per-machine implementation (reference and
+// WithScanIndex baseline).
+func (c *Cluster) distributeScan(load float64) (served float64, err error) {
+	remaining := load
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			if nd.m.State() != machine.On {
 				continue
 			}
-			share := math.Min(remaining, a.MaxPerf)
-			if err := m.SetLoad(share); err != nil {
+			share := math.Min(remaining, p.arch.MaxPerf)
+			if err := nd.m.SetLoad(share); err != nil {
 				return served, err
 			}
 			served += share
@@ -313,43 +689,118 @@ func (c *Cluster) Distribute(load float64) (served float64, err error) {
 }
 
 // Tick advances all machines by dt seconds and returns the total energy
-// consumed, including transition energies.
+// consumed, including transition energies. The On fleet of each pool is
+// integrated in one closed-form step from the cached distribution
+// aggregate (identical machines, known full/partial/idle split); only
+// transitioning machines are ticked individually, charging their exact
+// per-transition energies through the automata. Transition completions
+// fold back into the pool lists and (lazily) the heap. The per-call cost
+// is therefore O(architectures + transitioning machines) on the hot path —
+// independent of fleet size — with an exact per-machine fallback whenever
+// loads were perturbed outside Distribute.
 func (c *Cluster) Tick(dt float64) (power.Joules, error) {
 	if dt < 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
 		return 0, fmt.Errorf("cluster: invalid tick duration %v", dt)
 	}
+	c.now += dt
 	var total power.Joules
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			e, err := m.Tick(dt)
-			if err != nil {
-				return total, err
+	for _, p := range c.poolList {
+		if c.scanIndex {
+			// Original behavior: every machine, creation order.
+			for _, nd := range p.nodes {
+				e, err := nd.m.Tick(dt)
+				if err != nil {
+					return total, err
+				}
+				total += e
 			}
-			total += e
+		} else {
+			// On fleet: one closed-form step per pool.
+			if len(p.on) > 0 && dt > 0 {
+				e := p.onPowerW * dt
+				idle := float64(len(p.on)) * float64(p.arch.IdlePower) * dt
+				p.aggIdle, p.aggIdleComp = power.NeumaierAdd(p.aggIdle, p.aggIdleComp, idle)
+				p.aggDyn, p.aggDynComp = power.NeumaierAdd(p.aggDyn, p.aggDynComp, e-idle)
+				total += power.Joules(e)
+			}
+			// Transitioning machines: exact automata integration.
+			for _, nd := range p.trans {
+				e, err := nd.m.Tick(dt)
+				if err != nil {
+					return total, err
+				}
+				total += e
+			}
 		}
+		c.foldCompletions(p)
 	}
+	c.pruneTransitions()
 	return total, nil
 }
 
+// foldCompletions moves machines whose transition resolved during the tick
+// out of the transitioning list: completed boots join the On fleet (idle
+// until the next dispatch), completed shutdowns and failed boots join the
+// free list.
+func (c *Cluster) foldCompletions(p *pool) {
+	done := false
+	for _, nd := range p.trans {
+		if !nd.m.Transitioning() {
+			done = true
+			break
+		}
+	}
+	if !done {
+		return
+	}
+	kept := p.trans[:0]
+	for _, nd := range p.trans {
+		switch {
+		case nd.m.Transitioning():
+			kept = append(kept, nd)
+		case nd.m.State() == machine.On:
+			p.nBooting--
+			p.admitOn(nd)
+		default: // Off: completed shutdown or failed boot
+			if nd.booting {
+				p.nBooting--
+			}
+			p.free = append(p.free, nd)
+		}
+	}
+	p.trans = kept
+}
+
 // Breakdown returns the fleet's cumulative energy split across transition,
-// idle, and dynamic components.
+// idle, and dynamic components: the per-machine automata accumulators
+// (transitions, and any On time integrated through the per-machine paths)
+// plus the pool-level aggregates charged by closed-form On integration.
 func (c *Cluster) Breakdown() power.Breakdown {
 	var b power.Breakdown
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			b.Add(m.Breakdown())
+	for _, p := range c.poolList {
+		for _, nd := range p.nodes {
+			b.Add(nd.m.Breakdown())
 		}
+		b.Idle += power.Joules(p.aggIdle + p.aggIdleComp)
+		b.Dynamic += power.Joules(p.aggDyn + p.aggDynComp)
 	}
 	return b
 }
 
 // CurrentPower returns the instantaneous fleet draw.
 func (c *Cluster) CurrentPower() power.Watts {
-	var p power.Watts
-	for _, a := range c.archs {
-		for _, m := range c.pools[a.Name] {
-			p += m.CurrentPower()
+	var pw power.Watts
+	for _, p := range c.poolList {
+		if c.scanIndex {
+			for _, nd := range p.nodes {
+				pw += nd.m.CurrentPower()
+			}
+			continue
+		}
+		pw += power.Watts(p.onPowerW)
+		for _, nd := range p.trans {
+			pw += nd.m.CurrentPower()
 		}
 	}
-	return p
+	return pw
 }

@@ -109,6 +109,13 @@ func (m *Machine) Remaining() float64 {
 	return 0
 }
 
+// Transitioning reports whether the machine is mid-transition (Booting or
+// ShuttingDown). The cluster's transition index uses this to detect stale
+// heap entries after a transition has resolved.
+func (m *Machine) Transitioning() bool {
+	return m.state == Booting || m.state == ShuttingDown
+}
+
 // PowerOn begins the boot transition. Only valid from Off.
 func (m *Machine) PowerOn() error {
 	if m.state != Off {

@@ -143,6 +143,22 @@ func IntervalEnergy(p Watts, durSeconds float64) (Joules, error) {
 	return Joules(float64(p) * durSeconds), nil
 }
 
+// NeumaierAdd performs one step of Neumaier's compensated summation:
+// it adds v to sum, tracking the rounding error in comp. Folding comp into
+// the final sum recovers the result to far better than plain accumulation
+// — the primitive behind every energy accumulator that must agree across
+// engines integrating in different orders (per second versus per event,
+// per machine versus per pool).
+func NeumaierAdd(sum, comp, v float64) (newSum, newComp float64) {
+	t := sum + v
+	if math.Abs(sum) >= math.Abs(v) {
+		comp += (sum - t) + v
+	} else {
+		comp += (v - t) + sum
+	}
+	return t, comp
+}
+
 // EnergyOver returns the closed-form energy of serving a constant rate on
 // model m for dur seconds — IntervalEnergy at the model's operating point.
 func EnergyOver(m Model, rate, durSeconds float64) (Joules, error) {

@@ -53,8 +53,11 @@ func Window(candidates []profile.Arch, factor float64) (int, error) {
 
 // Config assembles a scheduler.
 type Config struct {
-	// Table is the precomputed rate→combination lookup from the planner.
-	Table *bml.Table
+	// Table is the rate→combination lookup from the planner: a dense
+	// *bml.Table for paper-scale rates or a memoizing *bml.LazyTable for
+	// fleet-scaled runs whose rate range makes dense precomputation
+	// prohibitive.
+	Table bml.Lookup
 	// Predictor forecasts load; the paper uses predict.LookaheadMax.
 	Predictor predict.Predictor
 	// Cluster is the fleet being reconfigured.
@@ -83,7 +86,7 @@ type Config struct {
 // Scheduler drives dynamic reconfiguration over a simulation. It is not
 // safe for concurrent use.
 type Scheduler struct {
-	table           *bml.Table
+	table           bml.Lookup
 	pred            predict.Predictor
 	cl              *cluster.Cluster
 	headroom        float64
@@ -243,7 +246,8 @@ func (s *Scheduler) IntegrateInterval(demand, dt float64) (served float64, energ
 // NextWake returns the seconds until the earliest scheduler-relevant timer:
 // the next machine transition completion or the migration lock expiry.
 // Zero means no timer is pending and the next decision depends only on the
-// prediction signal.
+// prediction signal. The cluster answers the transition query from its
+// min-heap index, so calling this every event is O(1) in fleet size.
 func (s *Scheduler) NextWake() float64 {
 	w := s.cl.NextTransitionEnd()
 	if s.migrationLock > 0 && (w == 0 || s.migrationLock < w) {

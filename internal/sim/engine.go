@@ -45,15 +45,28 @@ func wakeCeil(w float64) int {
 	return int(math.Ceil(w - 1e-9))
 }
 
+// intervalObserver sees every integrated interval of an event-engine BML
+// run: [t, next) with the constant offered demand and the total energy
+// charged to the interval (fleet integration plus any decision-instant
+// migration energy). The recorder uses it to fold per-bucket telemetry
+// into the event stream instead of re-running a 1 Hz loop.
+type intervalObserver func(t, next int, demand float64, energy power.Joules)
+
 // runBMLEvent is the event-driven BML scenario: decisions are evaluated
 // only at event seconds and the fleet energy is integrated in closed form
 // over each interval.
 func runBMLEvent(tr *trace.Trace, sc *sched.Scheduler, pred predict.Predictor, res *Result) error {
-	tl := newTimeline(tr, pred)
+	return runBMLEventObserved(tr, sc, res, newTimeline(tr, pred), nil)
+}
+
+// runBMLEventObserved is runBMLEvent with a caller-supplied timeline (which
+// may include telemetry bucket boundaries) and an optional per-interval
+// observer.
+func runBMLEventObserved(tr *trace.Trace, sc *sched.Scheduler, res *Result, tl *timeline, obs intervalObserver) error {
 	n := tr.Len()
 	for t := 0; t < n; {
-		// Static events (load, prediction, day, end) bound the interval the
-		// decision outcome provably repeats over.
+		// Static events (load, prediction, day, bucket, end) bound the
+		// interval the decision outcome provably repeats over.
 		static := tl.next(t)
 		rep, err := sc.DecideInterval(t, static-t)
 		if err != nil {
@@ -76,6 +89,9 @@ func runBMLEvent(tr *trace.Trace, sc *sched.Scheduler, pred predict.Predictor, r
 			return fmt.Errorf("sim: integrate [%d,%d): %w", t, next, err)
 		}
 		res.addEnergy(t, e+rep.Energy)
+		if obs != nil {
+			obs(t, next, demand, e+rep.Energy)
+		}
 		if err := res.QoS.Observe(demand, served, float64(next-t)); err != nil {
 			return err
 		}

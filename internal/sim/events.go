@@ -25,6 +25,9 @@ import (
 //     application migration-lock expiries, queried from the scheduler
 //     after each decision (they are the only asynchronous state changes);
 //   - day boundaries: the per-day energy series switches buckets;
+//   - telemetry bucket boundaries (recorder runs only): the per-bucket
+//     telemetry of RunBMLRecorded switches accumulators, so no interval
+//     may span one;
 //   - the end of the trace.
 //
 // The first two are monotone signals precomputed lazily by cursors; the
@@ -80,11 +83,13 @@ func (c *traceCursor) next(t int) int {
 	return c.known
 }
 
-// timeline merges the monotone event sources with day boundaries and the
-// trace end. Scheduler wake-ups are merged separately by the engine loop
-// because they depend on the decision taken at the interval start.
+// timeline merges the monotone event sources with day boundaries, optional
+// telemetry-bucket boundaries, and the trace end. Scheduler wake-ups are
+// merged separately by the engine loop because they depend on the decision
+// taken at the interval start.
 type timeline struct {
 	n       int
+	bucket  int // telemetry bucket width in seconds; 0 = no bucket events
 	cursors []eventCursor
 }
 
@@ -97,13 +102,27 @@ func newTimeline(tr *trace.Trace, pred predict.Predictor) *timeline {
 	return tl
 }
 
+// newBucketTimeline adds telemetry bucket boundaries every bucketSeconds to
+// the event sources, so every integrated interval falls inside exactly one
+// telemetry bucket.
+func newBucketTimeline(tr *trace.Trace, pred predict.Predictor, bucketSeconds int) *timeline {
+	tl := newTimeline(tr, pred)
+	tl.bucket = bucketSeconds
+	return tl
+}
+
 // next returns the earliest event second strictly after t: the next load or
-// prediction change, the next day boundary, or the trace end, whichever
-// comes first. The result is always in (t, n].
+// prediction change, the next day or bucket boundary, or the trace end,
+// whichever comes first. The result is always in (t, n].
 func (tl *timeline) next(t int) int {
 	next := tl.n
 	if day := (t/trace.SecondsPerDay + 1) * trace.SecondsPerDay; day < next {
 		next = day
+	}
+	if tl.bucket > 0 {
+		if b := (t/tl.bucket + 1) * tl.bucket; b < next {
+			next = b
+		}
 	}
 	for _, c := range tl.cursors {
 		if u := c.next(t); u < next {

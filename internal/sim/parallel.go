@@ -43,6 +43,15 @@ type SweepJob struct {
 	Scenario Scenario
 	// BML configures the BML scenario (ignored by the other three).
 	BML BMLConfig
+	// FleetScale multiplies the job's offered load before the run, scaling
+	// the fleet the scheduler provisions by roughly the same factor —
+	// the knob that turns a scenario × trace grid into a scenario × trace
+	// × fleet grid exercising thousand-node clusters. Zero or one leaves
+	// the trace unchanged. Large scales push the LowerBound scenario's
+	// dense DP setup toward O(scale) memory; the other scenarios stay
+	// cheap thanks to the cluster's transition heap and the planner's
+	// lazy combination lookup.
+	FleetScale float64
 	// Options forwards engine options (e.g. WithTickEngine) to the run.
 	Options []Option
 }
@@ -52,15 +61,22 @@ func (j SweepJob) run() (*Result, error) {
 	if j.Trace == nil || j.Planner == nil {
 		return nil, errors.New("sim: sweep job needs a trace and a planner")
 	}
+	tr := j.Trace
+	if j.FleetScale != 0 && j.FleetScale != 1 {
+		var err error
+		if tr, err = tr.Scale(j.FleetScale); err != nil {
+			return nil, fmt.Errorf("sim: fleet scale: %w", err)
+		}
+	}
 	switch j.Scenario {
 	case ScenarioUpperBoundGlobal:
-		return RunUpperBoundGlobal(j.Trace, j.Planner.Big(), j.Options...)
+		return RunUpperBoundGlobal(tr, j.Planner.Big(), j.Options...)
 	case ScenarioUpperBoundPerDay:
-		return RunUpperBoundPerDay(j.Trace, j.Planner.Big(), j.Options...)
+		return RunUpperBoundPerDay(tr, j.Planner.Big(), j.Options...)
 	case ScenarioBML:
-		return RunBML(j.Trace, j.Planner, j.BML, j.Options...)
+		return RunBML(tr, j.Planner, j.BML, j.Options...)
 	case ScenarioLowerBound:
-		return RunLowerBound(j.Trace, j.Planner.Candidates(), j.Options...)
+		return RunLowerBound(tr, j.Planner.Candidates(), j.Options...)
 	default:
 		return nil, fmt.Errorf("sim: unknown scenario %q", j.Scenario)
 	}

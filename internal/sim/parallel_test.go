@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -192,5 +193,56 @@ func TestRunBMLRecordedPartialLastBucket(t *testing.T) {
 	}
 	if math.Abs(rec.Load[3]-50) > 1e-9 {
 		t.Errorf("partial bucket mean = %v, want 50", rec.Load[3])
+	}
+}
+
+// TestSweepFleetScaleGrid exercises the scenario × trace × fleet grid: the
+// FleetScale knob multiplies each job's offered load, so the scheduler
+// provisions proportionally larger fleets while per-job results stay
+// self-consistent (energy and switch activity grow with the fleet, and the
+// served fraction does not degrade).
+func TestSweepFleetScaleGrid(t *testing.T) {
+	tr := dayTrace(t, 1, 250)
+	planner := fastPlanner(t)
+	scales := []float64{1, 4, 16}
+	var jobs []SweepJob
+	for _, f := range scales {
+		for _, sc := range []Scenario{ScenarioUpperBoundGlobal, ScenarioBML} {
+			jobs = append(jobs, SweepJob{
+				Name: fmt.Sprintf("%s/fleet=%g", sc, f), Trace: tr,
+				Planner: planner, Scenario: sc, FleetScale: f,
+			})
+		}
+	}
+	results := Sweep(jobs, 0)
+	byName := make(map[string]*Result, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Job.Name, r.Err)
+		}
+		byName[r.Job.Name] = r.Result
+	}
+	for i := 1; i < len(scales); i++ {
+		small := byName[fmt.Sprintf("bml/fleet=%g", scales[i-1])]
+		large := byName[fmt.Sprintf("bml/fleet=%g", scales[i])]
+		ratio := scales[i] / scales[i-1]
+		if float64(large.TotalEnergy) < float64(small.TotalEnergy)*ratio/2 {
+			t.Errorf("fleet ×%g energy %v did not scale from %v", scales[i], large.TotalEnergy, small.TotalEnergy)
+		}
+		if large.SwitchOns <= small.SwitchOns {
+			t.Errorf("fleet ×%g switch-ons %d not above ×%g's %d", scales[i], large.SwitchOns, scales[i-1], small.SwitchOns)
+		}
+		if large.QoS.Availability() < small.QoS.Availability()-0.01 {
+			t.Errorf("fleet ×%g availability %v collapsed from %v", scales[i], large.QoS.Availability(), small.QoS.Availability())
+		}
+	}
+}
+
+// TestSweepFleetScaleInvalid reports bad scales as per-job errors.
+func TestSweepFleetScaleInvalid(t *testing.T) {
+	tr := dayTrace(t, 1, 100)
+	res := Sweep([]SweepJob{{Trace: tr, Planner: fastPlanner(t), Scenario: ScenarioBML, FleetScale: math.NaN()}}, 1)
+	if res[0].Err == nil {
+		t.Error("NaN fleet scale accepted")
 	}
 }

@@ -1,0 +1,130 @@
+package sim
+
+// Differential tests for the event-driven recorder: RunBMLRecorded on the
+// event engine (bucket-boundary events, analytic per-interval folding)
+// must reproduce the legacy 1 Hz sampling loop — retained behind
+// WithTickEngine as the oracle — bucket for bucket: energy-derived mean
+// power within ≤1e-6 J per bucket-second, loads and reference draws to
+// numerical noise, and every scheduler counter exactly. This was the gate
+// for demoting the tick recorder to oracle-only status.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/trace"
+)
+
+func assertRecordingsAgree(t *testing.T, label string, tick, ev *Recording) {
+	t.Helper()
+	if tick.BucketSeconds != ev.BucketSeconds {
+		t.Fatalf("%s: bucket widths differ: %d vs %d", label, tick.BucketSeconds, ev.BucketSeconds)
+	}
+	if len(tick.Power) != len(ev.Power) || len(tick.Load) != len(ev.Load) || len(tick.StaticPower) != len(ev.StaticPower) {
+		t.Fatalf("%s: bucket counts differ: %d/%d/%d vs %d/%d/%d", label,
+			len(tick.Power), len(tick.Load), len(tick.StaticPower),
+			len(ev.Power), len(ev.Load), len(ev.StaticPower))
+	}
+	for b := range tick.Power {
+		// Power is mean Watts over the bucket; ×width gives the bucket's
+		// energy, which is the quantity held to the engine-wide 1e-6 J bar.
+		if d := math.Abs(tick.Power[b]-ev.Power[b]) * float64(tick.BucketSeconds); d > energyTolJ {
+			t.Errorf("%s: bucket %d energy diverges by %g J (tick %v W, event %v W)",
+				label, b, d, tick.Power[b], ev.Power[b])
+		}
+		if d := math.Abs(tick.Load[b] - ev.Load[b]); d > 1e-9*(1+math.Abs(tick.Load[b])) {
+			t.Errorf("%s: bucket %d load %v vs %v", label, b, tick.Load[b], ev.Load[b])
+		}
+		if d := math.Abs(tick.StaticPower[b] - ev.StaticPower[b]); d > 1e-9*(1+math.Abs(tick.StaticPower[b])) {
+			t.Errorf("%s: bucket %d static power %v vs %v", label, b, tick.StaticPower[b], ev.StaticPower[b])
+		}
+	}
+	assertEnginesAgree(t, label+"/result", tick.Result, ev.Result)
+}
+
+func recordBoth(t *testing.T, tr *trace.Trace, cfg BMLConfig, bucketSeconds int) (tick, ev *Recording) {
+	t.Helper()
+	planner := fastPlanner(t)
+	tick, err := RunBMLRecorded(tr, planner, cfg, bucketSeconds, WithTickEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err = RunBMLRecorded(tr, planner, cfg, bucketSeconds, WithEventEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tick, ev
+}
+
+func TestDifferentialRecordingBucketWidths(t *testing.T) {
+	// A plateau trace whose intervals span many seconds is the shape where
+	// bucket-boundary events actually split integration intervals; widths
+	// that divide the trace, widths that do not, and a width larger than a
+	// day all have to agree with per-second sampling.
+	rng := rand.New(rand.NewSource(5))
+	tr := randomStepTrace(rng, trace.SecondsPerDay+4321, 250, 45, 1200)
+	for _, width := range []int{60, 300, 601, 7, 2 * trace.SecondsPerDay} {
+		tick, ev := recordBoth(t, tr, BMLConfig{}, width)
+		assertRecordingsAgree(t, fmt.Sprintf("width=%d", width), tick, ev)
+	}
+}
+
+func TestDifferentialRecordingFaultsAndApp(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := randomStepTrace(rng, 3*3600, 250, 20, 600)
+	spec := app.StatelessWebServer()
+	spec.Migration.Energy = 25
+	spec.Migration.Duration = 3 * time.Second
+	for name, cfg := range map[string]BMLConfig{
+		"plain":          {},
+		"faults":         {BootFaultProb: 0.35, FaultSeed: 11},
+		"app-overhead":   {App: &spec, OverheadAware: true, AmortizeSeconds: 5},
+		"scan-baseline":  {ScanIndex: true},
+		"noisy-per-sec":  {},
+		"scaled-fleet-8": {},
+	} {
+		rtr := tr
+		switch name {
+		case "noisy-per-sec":
+			// Per-second-varying demand collapses the event engine to 1 s
+			// intervals; recording must survive the degenerate case too.
+			rtr = dayTrace(t, 1, 220)
+		case "scaled-fleet-8":
+			var err error
+			if rtr, err = tr.Scale(8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tick, ev := recordBoth(t, rtr, cfg, 300)
+		assertRecordingsAgree(t, name, tick, ev)
+	}
+}
+
+// TestRecordedMatchesPlainRunOnPlateaus pins the relationship between the
+// recorded aggregate and a plain (no-telemetry) run on a trace whose
+// intervals are actually split by bucket boundaries: the totals may differ
+// only by summation regrouping, far below the engine tolerance.
+func TestRecordedMatchesPlainRunOnPlateaus(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := randomStepTrace(rng, trace.SecondsPerDay, 250, 120, 3600)
+	planner := fastPlanner(t)
+	rec, err := RunBMLRecorded(tr, planner, BMLConfig{}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunBML(tr, planner, BMLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(float64(rec.Result.TotalEnergy - plain.TotalEnergy)); d > energyTolJ {
+		t.Errorf("recorded total %v vs plain %v (Δ %g J)", rec.Result.TotalEnergy, plain.TotalEnergy, d)
+	}
+	if rec.Result.Decisions != plain.Decisions || rec.Result.SwitchOns != plain.SwitchOns {
+		t.Errorf("recorded counters {dec %d on %d} vs plain {dec %d on %d}",
+			rec.Result.Decisions, rec.Result.SwitchOns, plain.Decisions, plain.SwitchOns)
+	}
+}

@@ -18,15 +18,27 @@
 // changes nothing in the model changes, so it skips directly from one
 // event to the next and integrates energy analytically over each interval
 // (power × Δt): a month-long piecewise-constant trace simulates in
-// milliseconds. The legacy 1 Hz tick loop — one scheduler step and one
-// joule-sample per simulated second, the paper's original integration
-// scheme — is retained behind WithTickEngine() as the differential-testing
-// oracle; the two engines produce identical results (differential_test.go
-// holds them to ≤1e-6 J and exactly equal counters).
+// milliseconds. Per-event cost is also independent of fleet size: the
+// cluster indexes pending transitions in a min-heap and integrates each
+// pool's On fleet in closed form from its fill-first load shape, so
+// thousand-node runs pay per event for the architectures and the machines
+// mid-transition, not for the fleet. Per-bucket telemetry
+// (RunBMLRecorded, recorder.go) rides the same event stream via
+// bucket-boundary events.
+//
+// The legacy 1 Hz tick loop — one scheduler step and one joule-sample per
+// simulated second, the paper's original integration scheme — survives
+// behind WithTickEngine() as a differential-testing oracle ONLY; it is no
+// longer a supported production path. The differential suites
+// (differential_test.go, recorder_differential_test.go) hold the engines
+// to ≤1e-6 J and exactly equal counters on randomized traces, fleets, and
+// fault schedules.
 //
 // Results report total and per-day energy (the series of Figure 5) plus
 // QoS and reconfiguration statistics. RunAll and Sweep (parallel.go) fan
-// scenario × trace grids out across cores.
+// scenario × trace × fleet grids out across cores; SweepJob.FleetScale
+// multiplies a job's offered load so grids can exercise thousand-node
+// clusters.
 package sim
 
 import (
@@ -87,28 +99,17 @@ func newResult(name string, days int) *Result {
 	}
 }
 
-// neumaierAdd performs one step of Neumaier's compensated summation.
-func neumaierAdd(sum, comp, v float64) (float64, float64) {
-	t := sum + v
-	if math.Abs(sum) >= math.Abs(v) {
-		comp += (sum - t) + v
-	} else {
-		comp += (v - t) + sum
-	}
-	return t, comp
-}
-
 // addEnergy accumulates e into the run totals, crediting the day that
 // second t belongs to.
 func (r *Result) addEnergy(t int, e power.Joules) {
 	var s float64
-	s, r.totalComp = neumaierAdd(float64(r.TotalEnergy), r.totalComp, float64(e))
+	s, r.totalComp = power.NeumaierAdd(float64(r.TotalEnergy), r.totalComp, float64(e))
 	r.TotalEnergy = power.Joules(s)
 	if d := t / trace.SecondsPerDay; d < len(r.DailyEnergy) {
 		if r.dailyComp == nil {
 			r.dailyComp = make([]float64, len(r.DailyEnergy))
 		}
-		s, r.dailyComp[d] = neumaierAdd(float64(r.DailyEnergy[d]), r.dailyComp[d], float64(e))
+		s, r.dailyComp[d] = power.NeumaierAdd(float64(r.DailyEnergy[d]), r.dailyComp[d], float64(e))
 		r.DailyEnergy[d] = power.Joules(s)
 	}
 }
@@ -151,7 +152,17 @@ type BMLConfig struct {
 	OverheadAware bool
 	// AmortizeSeconds is the amortization horizon (0 = 378 s).
 	AmortizeSeconds float64
+	// ScanIndex answers the cluster's fleet queries with the original
+	// O(fleet) linear scans instead of the transition min-heap and pool
+	// aggregates (cluster.WithScanIndex). It is the differential-testing
+	// and benchmarking baseline; real runs should leave it false.
+	ScanIndex bool
 }
+
+// denseTableLimit is the largest grid size for which buildBMLRig
+// precomputes a dense combination table; beyond it the memoized lazy
+// lookup serves identical combinations without the up-front cost.
+const denseTableLimit = 1 << 16
 
 // buildBMLRig assembles the scheduler, cluster, and predictor for a BML
 // run. The predictor is returned so the event engine can derive
@@ -180,13 +191,25 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 			headroom = 1
 		}
 	}
-	table := planner.Table(tr.Max() * headroom)
+	// Dense tables cost O(maxRate/step) up front; fleet-scaled traces push
+	// peak rates into the millions, where the memoizing lazy lookup (same
+	// combinations, computed on first query) is the only sane choice.
+	maxRate := tr.Max() * headroom
+	var table bml.Lookup
+	if maxRate/planner.Step() > denseTableLimit {
+		table = planner.LazyTable(maxRate)
+	} else {
+		table = planner.Table(maxRate)
+	}
 	var clOpts []cluster.Option
 	if cfg.Inventory != nil {
 		clOpts = append(clOpts, cluster.WithInventory(cfg.Inventory))
 	}
 	if cfg.BootFaultProb > 0 {
 		clOpts = append(clOpts, cluster.WithBootFaults(cfg.BootFaultProb, cfg.FaultSeed))
+	}
+	if cfg.ScanIndex {
+		clOpts = append(clOpts, cluster.WithScanIndex())
 	}
 	cl, err := cluster.New(planner.Candidates(), clOpts...)
 	if err != nil {

@@ -18,6 +18,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -433,6 +434,53 @@ func BenchmarkSweepGrid(b *testing.B) {
 			if r.Err != nil {
 				b.Fatal(r.Err)
 			}
+		}
+	}
+}
+
+// BenchmarkShardedSweep measures the distributed-sweep path end to end in
+// one process: the 3-trace × 4-scenario grid split into two deterministic
+// shards, each streamed through SweepStream as JSONL cell records, then
+// merged and validated against the expected cell set — the workflow
+// cmd/bmlsweep drives across worker processes or CI matrix jobs. Compare
+// with BenchmarkSweepGrid (the in-memory single-process path) to see the
+// streaming/merge overhead.
+func BenchmarkShardedSweep(b *testing.B) {
+	planner := getPlanner(b)
+	var jobs []sim.SweepJob
+	for day := 1; day <= 3; day++ {
+		tr := engineBenchTrace(b, day)
+		for _, sc := range sim.Scenarios {
+			jobs = append(jobs, sim.SweepJob{
+				Name: fmt.Sprintf("%s/day%d", sc, day), Trace: tr,
+				Planner: planner, Scenario: sc,
+			})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var streamed bytes.Buffer
+		for s := 0; s < 2; s++ {
+			shard, err := sim.ShardJobs(jobs, sim.ShardSpec{Index: s, Count: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = sim.SweepStream(shard, 0, func(r sim.SweepResult) error {
+				if r.Err != nil {
+					return r.Err
+				}
+				return sim.WriteCellRecord(&streamed, sim.NewCellRecord(r))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		records, err := sim.ReadCellRecords(&streamed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sim.MergeCells(jobs, records); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -13,6 +13,23 @@
 //	bmlsim -quantize 60            # piecewise-constant load (1-min log granularity)
 //	bmlsim -fleet 1000             # scale the load so the peak fleet is ~1000 machines
 //	bmlsim -engine tick            # legacy 1 Hz loop (oracle only — see below)
+//	bmlsim -sweep -fleets 0,100,1000 -out cells.jsonl    # stream the whole grid
+//	bmlsim -sweep -fleets 0,1000 -shard 0/4 -out s0.jsonl # run shard 0 of 4
+//
+// Sweep worker mode (-sweep) replaces the Figure 5 evaluation with a
+// scenario × fleet experiment grid: every cell is simulated independently
+// and streamed to -out as one JSONL record the moment it completes, so
+// peak memory is bounded by the cells in flight rather than the grid.
+// -shard i/N restricts the run to the deterministic shard i of N (cells
+// are assigned by hashing their canonical cell ID, so any process
+// enumerating the same grid agrees on the split without coordination —
+// this is how a CI matrix or a fleet of hosts divides a grid). Merge and
+// validate the shards with cmd/bmlsweep. -first/-last are ignored in
+// sweep mode (cells replay the whole trace), and the ablation knobs
+// (-predictor, -error, -headroom, -window-factor, -overhead-aware,
+// -amortize, -critical) are classic-mode only: they change cell results
+// without changing canonical cell IDs, so divergent workers would merge
+// into a silently inconsistent report.
 //
 // The -fleet flag multiplies the trace so the scheduler's peak combination
 // provisions approximately N machines instead of the paper's handful —
@@ -65,8 +82,27 @@ func main() {
 		engine    = flag.String("engine", "event", "simulation engine: event (fast, default) | tick (legacy 1 Hz differential oracle, slow)")
 		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds (0 = raw 1 Hz trace)")
 		fleet     = flag.Int("fleet", 0, "scale the trace so the scheduler's peak fleet has ~N machines (0 = paper scale)")
+		sweep     = flag.Bool("sweep", false, "run the scenario × fleet grid as a streaming sweep worker instead of the Figure 5 evaluation")
+		fleets    = flag.String("fleets", "", "comma-separated fleet targets for -sweep (default: the -fleet value)")
+		shard     = flag.String("shard", "", "with -sweep: run only shard i/N of the grid (e.g. 0/4)")
+		outFile   = flag.String("out", "", "with -sweep: stream JSONL cell records to this file (default stdout)")
 	)
 	flag.Parse()
+
+	// Validate sweep-mode flags before any expensive work so malformed
+	// shard specs (0/0, i >= N, negatives) fail loudly instead of silently
+	// running nothing.
+	if !*sweep {
+		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets} {
+			if v != "" {
+				log.Fatalf("%s requires -sweep", flagName)
+			}
+		}
+	} else if *shard != "" {
+		if _, err := sim.ParseShard(*shard); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var tr *trace.Trace
 	var err error
@@ -98,7 +134,7 @@ func main() {
 	if *fleet < 0 {
 		log.Fatalf("invalid -fleet %d (want a target machine count)", *fleet)
 	}
-	if *fleet > 0 {
+	if *fleet > 0 && !*sweep {
 		planner, perr := bml.NewPlanner(profile.PaperMachines())
 		if perr != nil {
 			log.Fatal(perr)
@@ -151,6 +187,32 @@ func main() {
 			log.Fatal(werr)
 		}
 		bmlCfg.Predictor = wrapped
+	}
+
+	if *sweep {
+		if bmlCfg.Predictor != nil {
+			// Grid cells run at different fleet scales, each needing a
+			// predictor over its own scaled trace; a single predictor
+			// built over the unscaled trace would be silently wrong.
+			log.Fatal("-sweep uses the paper's look-ahead predictor per cell; -predictor/-error are classic-mode only")
+		}
+		if *headroom != 1 || *windowF != 2 || *overhead || *amortize != 0 || *critical {
+			// A cell's canonical ID covers scenario, fleet scale, and
+			// trace — not the BML config. Workers running divergent
+			// configs would therefore merge cleanly into a silently
+			// inconsistent report, so sweep cells are pinned to the
+			// paper's defaults until config axes join the cell ID
+			// (see ROADMAP).
+			log.Fatal("-sweep cells run the paper's default BML config; -headroom/-window-factor/-overhead-aware/-amortize/-critical are classic-mode only")
+		}
+		fleetAxis := *fleets
+		if fleetAxis == "" {
+			fleetAxis = fmt.Sprintf("%d", *fleet)
+		}
+		// The zero BMLConfig, exactly what the bmlsweep coordinator
+		// re-enumerates the expected grid with.
+		runSweepMode(tr, sim.BMLConfig{}, simOpts, fleetAxis, *shard, *outFile)
+		return
 	}
 
 	ev, err := wc98.Run(tr, profile.PaperMachines(), wc98.Config{

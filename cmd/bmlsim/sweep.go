@@ -1,0 +1,80 @@
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Sweep worker mode (-sweep): enumerate the scenario × fleet grid over the
+// trace, keep only the cells of this worker's shard (-shard i/N), and
+// stream each completed cell to -out as one self-describing JSONL record.
+// Nothing is accumulated: peak memory is bounded by the cells in flight,
+// so fleet-scaled grids far larger than one machine's memory run as N
+// worker processes whose outputs cmd/bmlsweep (or a CI matrix collector)
+// merges and validates.
+func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, fleetsFlag, shardFlag, outPath string) {
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleets, err := sim.ParseFleets(fleetsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := sim.FleetGrid(tr, planner, bmlCfg, fleets, simOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sim.Whole
+	if shardFlag != "" {
+		if spec, err = sim.ParseShard(shardFlag); err != nil {
+			log.Fatal(err)
+		}
+	}
+	shard, err := sim.ShardJobs(jobs, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := os.Stdout
+	if outPath != "" && outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	done, failed := 0, 0
+	err = sim.SweepStream(shard, 0, func(r sim.SweepResult) error {
+		done++
+		if r.Err != nil {
+			failed++
+			log.Printf("cell %s failed: %v", r.Job.Name, r.Err)
+		} else {
+			log.Printf("cell %s done in %.1f ms (%d/%d)", r.Job.Name,
+				float64(r.Wall.Microseconds())/1e3, done, len(shard))
+		}
+		return sim.WriteCellRecord(out, sim.NewCellRecord(r))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shard %s: streamed %d/%d cells of a %d-cell grid", spec, done, len(shard), len(jobs))
+	if failed > 0 {
+		log.Fatalf("%d of %d cells failed", failed, len(shard))
+	}
+	if done != len(shard) {
+		log.Fatalf("streamed %d cells, expected %d", done, len(shard))
+	}
+}

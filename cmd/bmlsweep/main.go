@@ -1,0 +1,240 @@
+// Command bmlsweep coordinates distributed scenario × fleet sweeps: it
+// either spawns N local bmlsim worker processes (one per shard) or merges
+// JSONL result files produced elsewhere (e.g. by CI matrix jobs running
+// `bmlsim -sweep -shard i/N`), then validates the merged records against
+// the expected grid — every cell present exactly once, no cells from a
+// different grid, no failed cells — deduplicates re-run cells, and renders
+// the merged report through internal/report.
+//
+// Usage:
+//
+//	bmlsweep -spawn 4 -days 7 -quantize 300 -fleets 0,100,1000   # local fan-out
+//	bmlsweep -days 7 -quantize 300 -fleets 0,100,1000 shard-*.jsonl  # merge CI artifacts
+//	bmlsweep -spawn 2 -csv > grid.csv                            # machine-readable merge
+//
+// The grid flags (-days, -peak, -seed, -trace, -quantize, -fleets) must
+// match the ones the workers ran with: the coordinator re-enumerates the
+// grid from them to know which cells to expect, and the canonical cell IDs
+// embedded in each record (scenario, fleet scale, trace fingerprint) make
+// any mismatch — a different trace, a missing shard, a half-written file —
+// a hard validation error instead of a silently wrong report.
+//
+// Because workers stream each cell as it completes and the coordinator
+// only ever holds the flattened per-cell records, the peak memory of a
+// distributed sweep is one shard's working set, not the grid's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bmlsweep: ")
+	var (
+		days      = flag.Int("days", 92, "days to generate when no trace file is given")
+		peak      = flag.Float64("peak", 5000, "generated trace peak rate")
+		seed      = flag.Int64("seed", 1998, "generator seed")
+		traceFile = flag.String("trace", "", "replay this trace file instead of generating")
+		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds")
+		fleets    = flag.String("fleets", "0", "comma-separated fleet targets of the grid")
+		spawn     = flag.Int("spawn", 0, "spawn this many local bmlsim worker processes, one per shard")
+		bin       = flag.String("bin", "", "bmlsim binary for -spawn (default: next to this executable, then $PATH)")
+		dir       = flag.String("dir", "", "scratch directory for -spawn shard outputs (default: a temp dir)")
+		csv       = flag.Bool("csv", false, "emit the merged grid as CSV instead of a table")
+	)
+	flag.Parse()
+
+	files := flag.Args()
+	switch {
+	case *spawn > 0 && len(files) > 0:
+		log.Fatal("use either -spawn N or a list of JSONL files to merge, not both")
+	case *spawn < 0:
+		log.Fatalf("invalid -spawn %d", *spawn)
+	case *spawn == 0 && len(files) == 0:
+		log.Fatal("nothing to do: give -spawn N to run workers or JSONL files to merge")
+	}
+
+	tr := buildTrace(*traceFile, *days, *peak, *seed, *quantize)
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleetAxis, err := sim.ParseFleets(*fleets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := sim.FleetGrid(tr, planner, sim.BMLConfig{}, fleetAxis)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spawned := *spawn > 0
+	if spawned {
+		files = spawnWorkers(*spawn, *bin, *dir, *traceFile, *days, *peak, *seed, *quantize, *fleets)
+	}
+
+	var records []sim.CellRecord
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			if spawned {
+				// A worker that died before creating its output is a
+				// partial failure: keep merging so the diagnostics below
+				// can name exactly which cells are missing.
+				log.Printf("skipping %v", err)
+				continue
+			}
+			log.Fatal(err)
+		}
+		recs, err := sim.ReadCellRecords(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		records = append(records, recs...)
+	}
+
+	cells, stats, err := sim.MergeCells(jobs, records)
+	if err != nil {
+		for _, id := range stats.Missing {
+			log.Printf("missing cell: %s", id)
+		}
+		for _, id := range stats.Failed {
+			log.Printf("failed cell: %s", id)
+		}
+		for _, id := range stats.Unknown {
+			log.Printf("foreign record (not in this grid): %s", id)
+		}
+		log.Fatal(err)
+	}
+	log.Printf("merged %d records from %d files into %d cells (%d duplicates deduplicated)",
+		stats.Records, len(files), len(cells), stats.Duplicates)
+
+	if *csv {
+		err = report.SweepCSV(os.Stdout, cells)
+	} else {
+		err = report.SweepTable(os.Stdout, cells)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildTrace mirrors bmlsim's trace construction so coordinator and
+// workers enumerate the same grid from the same flags.
+func buildTrace(traceFile string, days int, peak float64, seed int64, quantize int) *trace.Trace {
+	var tr *trace.Trace
+	var err error
+	if traceFile != "" {
+		f, ferr := os.Open(traceFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	} else {
+		cfg := trace.DefaultWorldCupConfig()
+		cfg.Days = days
+		cfg.PeakRate = peak
+		cfg.Seed = seed
+		tr, err = trace.GenerateWorldCup(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if quantize < 0 {
+		log.Fatalf("invalid -quantize %d", quantize)
+	}
+	if quantize > 0 {
+		if tr, err = tr.Quantize(quantize); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// spawnWorkers runs one `bmlsim -sweep -shard i/N` process per shard
+// concurrently, streaming each shard to its own JSONL file, and returns
+// the output files. Worker failures are fatal only after every worker has
+// finished, so the merge diagnostics below still name the missing cells.
+func spawnWorkers(n int, bin, dir, traceFile string, days int, peak float64, seed int64, quantize int, fleets string) []string {
+	if bin == "" {
+		bin = findWorkerBinary()
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "bmlsweep")
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir = d
+	}
+	args := []string{"-sweep", "-fleets", fleets}
+	if traceFile != "" {
+		args = append(args, "-trace", traceFile)
+	} else {
+		args = append(args,
+			"-days", fmt.Sprint(days),
+			"-peak", fmt.Sprint(peak),
+			"-seed", fmt.Sprint(seed))
+	}
+	if quantize > 0 {
+		args = append(args, "-quantize", fmt.Sprint(quantize))
+	}
+
+	files := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		files[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		workerArgs := append(append([]string{}, args...),
+			"-shard", fmt.Sprintf("%d/%d", i, n), "-out", files[i])
+		wg.Add(1)
+		go func(i int, argv []string) {
+			defer wg.Done()
+			cmd := exec.Command(bin, argv...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				errs[i] = fmt.Errorf("worker %d/%d: %v\n%s", i, n, err, strings.TrimSpace(string(out)))
+			}
+		}(i, workerArgs)
+	}
+	wg.Wait()
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			log.Print(err)
+		}
+	}
+	if failed > 0 {
+		log.Printf("%d of %d workers failed; merging what was streamed", failed, n)
+	}
+	log.Printf("spawned %d workers (%s), outputs in %s", n, bin, dir)
+	return files
+}
+
+// findWorkerBinary prefers the bmlsim next to this executable (the way
+// `go build ./cmd/...` lays binaries out), falling back to $PATH.
+func findWorkerBinary() string {
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "bmlsim")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling
+		}
+	}
+	return "bmlsim"
+}

@@ -154,6 +154,117 @@ func TestCmdBMLSimTickEngineWarnsOracleOnly(t *testing.T) {
 	}
 }
 
+// runCmdErr runs a command expecting a non-zero exit, returning combined
+// output.
+func runCmdErr(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(cmdBinary(t, name), args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", name, args, out)
+	}
+	return string(out)
+}
+
+// sweepGridArgs is the shared grid spec for the distributed-sweep cmd
+// tests: 1 generated day, 10-minute plateaus, paper scale plus a small
+// fleet-scaled axis. Workers and coordinator must agree on these.
+var sweepGridArgs = []string{"-days", "1", "-quantize", "600", "-fleets", "0,50"}
+
+func TestCmdBMLSimSweepShardAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "s0.jsonl")
+	s1 := filepath.Join(dir, "s1.jsonl")
+	out := runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "0/2", "-out", s0}, sweepGridArgs...)...)
+	if !strings.Contains(out, "shard 0/2: streamed") {
+		t.Errorf("worker summary missing:\n%s", out)
+	}
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "1/2", "-out", s1}, sweepGridArgs...)...)
+
+	// Each record is a self-describing JSON line.
+	raw, err := os.ReadFile(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		for _, field := range []string{`"id":"`, `"scenario":"`, `"trace_hash":"`, `"total_J":`, `"wall_ms":`} {
+			if !strings.Contains(line, field) {
+				t.Errorf("JSONL record missing %s: %s", field, line)
+			}
+		}
+	}
+
+	// Merging both shards covers the grid; the merged table carries every
+	// cell of the scenario × fleet axes.
+	merged := runCmd(t, "bmlsweep", append(append([]string{}, sweepGridArgs...), s0, s1)...)
+	for _, want := range []string{"bml/fleet=0", "lowerbound/fleet=50", "8 cells", "total_kWh"} {
+		if !strings.Contains(merged, want) {
+			t.Errorf("merged table missing %q:\n%s", want, merged)
+		}
+	}
+
+	// A deliberately incomplete merge must fail and name the missing cells.
+	out = runCmdErr(t, "bmlsweep", append(append([]string{}, sweepGridArgs...), s0)...)
+	if !strings.Contains(out, "missing cell") || !strings.Contains(out, "merge incomplete") {
+		t.Errorf("incomplete merge diagnostics missing:\n%s", out)
+	}
+}
+
+func TestCmdBMLSweepSpawn(t *testing.T) {
+	bin := cmdBinary(t, "bmlsim")
+	out := runCmd(t, "bmlsweep", append([]string{"-spawn", "2", "-bin", bin, "-dir", t.TempDir(), "-csv"}, sweepGridArgs...)...)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var csvLines []string
+	for _, l := range lines {
+		if strings.Contains(l, ",") && !strings.HasPrefix(l, "bmlsweep:") {
+			csvLines = append(csvLines, l)
+		}
+	}
+	if len(csvLines) != 9 || !strings.HasPrefix(csvLines[0], "cell,scenario,fleet_scale") {
+		t.Errorf("spawned sweep CSV malformed (%d csv lines):\n%s", len(csvLines), out)
+	}
+}
+
+func TestCmdBMLSimRejectsMalformedShard(t *testing.T) {
+	for _, spec := range []string{"0/0", "3/2", "-1/2", "x/2", "2"} {
+		out := runCmdErr(t, "bmlsim", "-sweep", "-shard", spec)
+		if !strings.Contains(out, "shard") {
+			t.Errorf("spec %q: unhelpful error:\n%s", spec, out)
+		}
+	}
+	// -shard outside sweep mode is rejected too.
+	out := runCmdErr(t, "bmlsim", "-shard", "0/2")
+	if !strings.Contains(out, "requires -sweep") {
+		t.Errorf("-shard without -sweep not rejected:\n%s", out)
+	}
+	// Ablation knobs change cell results without changing canonical cell
+	// IDs, so sweep mode must refuse them rather than let divergent
+	// workers merge into a silently inconsistent report.
+	for _, args := range [][]string{
+		{"-sweep", "-overhead-aware"},
+		{"-sweep", "-headroom", "1.2"},
+		{"-sweep", "-critical"},
+		{"-sweep", "-predictor", "ewma"},
+	} {
+		out := runCmdErr(t, "bmlsim", append(args, "-days", "1")...)
+		if !strings.Contains(out, "classic-mode only") {
+			t.Errorf("bmlsim %v: ablation knob not rejected in sweep mode:\n%s", args, out)
+		}
+	}
+}
+
+func TestCmdBMLSweepSpawnWorkerFailureNamesMissingCells(t *testing.T) {
+	// A worker binary that cannot run means no shard file is ever written;
+	// the coordinator must still merge what exists and name the missing
+	// cells instead of dying on the unreadable file.
+	out := runCmdErr(t, "bmlsweep", append([]string{"-spawn", "2", "-bin",
+		filepath.Join(t.TempDir(), "no-such-bmlsim"), "-dir", t.TempDir()}, sweepGridArgs...)...)
+	for _, want := range []string{"workers failed", "missing cell", "merge incomplete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial-failure diagnostics missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdBMLSimAblationFlags(t *testing.T) {
 	out := runCmd(t, "bmlsim", "-days", "2", "-first", "1", "-last", "2",
 		"-overhead-aware", "-predictor", "pattern", "-critical")

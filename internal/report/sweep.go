@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Distributed-sweep rendering: the coordinator (cmd/bmlsweep) merges the
+// JSONL cell records streamed by sharded workers back into grid order and
+// hands them here, so a grid computed by one process, eight local workers,
+// or a CI matrix renders identically.
+
+// SweepTable writes merged sweep cells as an aligned table — one row per
+// cell in grid order — followed by a one-line totals summary.
+func SweepTable(w io.Writer, cells []sim.CellRecord) error {
+	headers := []string{"cell", "scenario", "scale", "total_kWh", "avail_%", "decisions", "ons", "offs", "wall_ms"}
+	rows := make([][]string, 0, len(cells))
+	var totalJ, wallMS float64
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Name,
+			c.Scenario,
+			fmt.Sprintf("%g", c.FleetScale),
+			fmt.Sprintf("%.2f", c.TotalJ/3.6e6),
+			fmt.Sprintf("%.4f", c.Availability*100),
+			fmt.Sprintf("%d", c.Decisions),
+			fmt.Sprintf("%d", c.SwitchOns),
+			fmt.Sprintf("%d", c.SwitchOffs),
+			fmt.Sprintf("%.1f", c.WallMS),
+		})
+		totalJ += c.TotalJ
+		wallMS += c.WallMS
+	}
+	if err := Table(w, headers, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d cells, %.2f kWh total, %.1f ms simulated wall time\n",
+		len(cells), totalJ/3.6e6, wallMS)
+	return err
+}
+
+// SweepCSV writes merged sweep cells as a machine-readable series, one row
+// per cell in grid order.
+func SweepCSV(w io.Writer, cells []sim.CellRecord) error {
+	headers := []string{"cell", "scenario", "fleet_scale", "total_J", "availability",
+		"decisions", "switch_ons", "switch_offs", "skipped", "lost_requests", "wall_ms"}
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Name,
+			c.Scenario,
+			fmt.Sprintf("%g", c.FleetScale),
+			fmt.Sprintf("%.0f", c.TotalJ),
+			fmt.Sprintf("%.6f", c.Availability),
+			fmt.Sprintf("%d", c.Decisions),
+			fmt.Sprintf("%d", c.SwitchOns),
+			fmt.Sprintf("%d", c.SwitchOffs),
+			fmt.Sprintf("%d", c.Skipped),
+			fmt.Sprintf("%.0f", c.LostRequests),
+			fmt.Sprintf("%.1f", c.WallMS),
+		})
+	}
+	return CSV(w, headers, rows)
+}

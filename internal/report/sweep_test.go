@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sweepCells() []sim.CellRecord {
+	return []sim.CellRecord{
+		{
+			ID: "ub-global|a|fleet=1|trace=0:10", Name: "a", Scenario: "ub-global",
+			FleetScale: 1, TotalJ: 3.6e6, Availability: 1, WallMS: 1.5,
+		},
+		{
+			ID: "bml|b|fleet=10|trace=0:10", Name: "b", Scenario: "bml",
+			FleetScale: 10, TotalJ: 7.2e6, Availability: 0.9995,
+			Decisions: 12, SwitchOns: 5, SwitchOffs: 4, Skipped: 1,
+			LostRequests: 42, WallMS: 2.5,
+		},
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	var sb strings.Builder
+	if err := SweepTable(&sb, sweepCells()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"total_kWh", "1.00", "2.00", "99.9500", "2 cells, 3.00 kWh total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := SweepCSV(&sb, sweepCells()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "cell,scenario,fleet_scale,total_J,availability,decisions,switch_ons,switch_offs,skipped,lost_requests,wall_ms" {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "b,bml,10,7200000,0.999500,12,5,4,1,42,2.5") {
+		t.Errorf("row = %s", lines[2])
+	}
+}

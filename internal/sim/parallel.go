@@ -3,10 +3,12 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bml"
+	"repro/internal/predict"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -56,15 +58,95 @@ type SweepJob struct {
 	Options []Option
 }
 
-// run executes the job's scenario.
-func (j SweepJob) run() (*Result, error) {
+// sweepCache shares per-trace work across the cells of one sweep or
+// shard. Fleet-scaled trace copies are O(trace) each and identical for
+// every scenario at the same scale; the BML predictor's trace.SlidingMax
+// precomputation is likewise O(trace) and identical for every cell over
+// the same (scaled) trace and window — ROADMAP flags it as the dominant
+// fixed cost of large-fleet runs, which the fleet benchmarks amortize by
+// hand. Computation happens under the lock so concurrent cells wait for
+// one precomputation instead of racing to repeat it.
+type sweepCache struct {
+	mu     sync.Mutex
+	scaled map[scaleKey]*trace.Trace
+	preds  map[predKey]predict.Predictor
+}
+
+type scaleKey struct {
+	tr *trace.Trace
+	f  float64
+}
+
+type predKey struct {
+	tr     *trace.Trace
+	window int
+}
+
+func newSweepCache() *sweepCache {
+	return &sweepCache{
+		scaled: map[scaleKey]*trace.Trace{},
+		preds:  map[predKey]predict.Predictor{},
+	}
+}
+
+// scaledTrace returns tr scaled by f, computing each distinct (trace,
+// factor) once per cache lifetime.
+func (c *sweepCache) scaledTrace(tr *trace.Trace, f float64) (*trace.Trace, error) {
+	if c == nil {
+		return tr.Scale(f)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := scaleKey{tr: tr, f: f}
+	if s, ok := c.scaled[key]; ok {
+		return s, nil
+	}
+	s, err := tr.Scale(f)
+	if err != nil {
+		return nil, err
+	}
+	c.scaled[key] = s
+	return s, nil
+}
+
+// lookahead returns the paper's look-ahead-max predictor for (tr, window),
+// sharing the SlidingMax precomputation across every cell of the sweep
+// that replays the same trace. Predictors are immutable after
+// construction, so sharing one across concurrent runs is race-free.
+func (c *sweepCache) lookahead(tr *trace.Trace, window int) (predict.Predictor, error) {
+	if c == nil {
+		return predict.NewLookaheadMax(tr, window)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := predKey{tr: tr, window: window}
+	if p, ok := c.preds[key]; ok {
+		return p, nil
+	}
+	p, err := predict.NewLookaheadMax(tr, window)
+	if err != nil {
+		return nil, err
+	}
+	c.preds[key] = p
+	return p, nil
+}
+
+// run executes the job's scenario without cross-cell sharing.
+func (j SweepJob) run() (*Result, error) { return j.runWith(nil) }
+
+// runWith executes the job's scenario, consulting cache (when non-nil) for
+// the fleet-scaled trace and the BML predictor. The cached predictor is
+// exactly what buildBMLRig would construct (predict.NewLookaheadMax over
+// the scaled trace at the scheduler's window), so cached and uncached
+// runs are identical.
+func (j SweepJob) runWith(cache *sweepCache) (*Result, error) {
 	if j.Trace == nil || j.Planner == nil {
 		return nil, errors.New("sim: sweep job needs a trace and a planner")
 	}
 	tr := j.Trace
 	if j.FleetScale != 0 && j.FleetScale != 1 {
 		var err error
-		if tr, err = tr.Scale(j.FleetScale); err != nil {
+		if tr, err = cache.scaledTrace(j.Trace, j.FleetScale); err != nil {
 			return nil, fmt.Errorf("sim: fleet scale: %w", err)
 		}
 	}
@@ -74,7 +156,23 @@ func (j SweepJob) run() (*Result, error) {
 	case ScenarioUpperBoundPerDay:
 		return RunUpperBoundPerDay(tr, j.Planner.Big(), j.Options...)
 	case ScenarioBML:
-		return RunBML(tr, j.Planner, j.BML, j.Options...)
+		cfg := j.BML
+		if cfg.Predictor == nil && cache != nil {
+			wf := cfg.WindowFactor
+			if wf == 0 {
+				wf = sched.DefaultWindowFactor
+			}
+			window, err := sched.Window(j.Planner.Candidates(), wf)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := cache.lookahead(tr, window)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Predictor = pred
+		}
+		return RunBML(tr, j.Planner, cfg, j.Options...)
 	case ScenarioLowerBound:
 		return RunLowerBound(tr, j.Planner.Candidates(), j.Options...)
 	default:
@@ -82,43 +180,32 @@ func (j SweepJob) run() (*Result, error) {
 	}
 }
 
-// SweepResult pairs a job with its outcome.
+// SweepResult pairs a job with its outcome. Index is the job's position in
+// the grid slice handed to Sweep/SweepStream; Wall is the cell's wall-clock
+// cost (streamed into CellRecord telemetry).
 type SweepResult struct {
 	Job    SweepJob
+	Index  int
 	Result *Result
 	Err    error
+	Wall   time.Duration
 }
 
 // Sweep executes a grid of scenario × trace × configuration jobs across a
 // bounded worker pool and returns one SweepResult per job, in job order.
 // workers ≤ 0 uses GOMAXPROCS. Individual job failures are reported in
 // their SweepResult rather than aborting the sweep, so a large experiment
-// grid survives one bad cell.
+// grid survives one bad cell. Sweep retains every result; grids too large
+// to hold in memory should use SweepStream and let each cell leave the
+// process as it completes.
 func Sweep(jobs []SweepJob, workers int) []SweepResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	out := make([]SweepResult, len(jobs))
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res, err := jobs[i].run()
-				out[i] = SweepResult{Job: jobs[i], Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	// The accumulate-everything emit cannot fail, so SweepStream cannot
+	// either.
+	_ = SweepStream(jobs, workers, func(r SweepResult) error {
+		out[r.Index] = r
+		return nil
+	})
 	return out
 }
 

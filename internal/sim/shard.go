@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bml"
+	"repro/internal/trace"
+)
+
+// This file is the deterministic grid sharder behind distributed sweeps:
+// every SweepJob has a canonical cell ID derived only from what the job
+// computes (scenario, name, fleet scale, trace fingerprint), and a cell's
+// shard assignment is a pure hash of that ID. Any process that can
+// enumerate the grid — a worker told "-shard 2/8", a coordinator
+// validating merged results, a CI matrix job — therefore agrees on which
+// cells belong to which shard without communicating, and re-running a
+// shard reproduces exactly the same cell set (shards are resumable).
+
+// ShardSpec selects one shard of a sharded sweep: shard Index of Count.
+type ShardSpec struct {
+	Index int // 0-based shard number
+	Count int // total shards, >= 1
+}
+
+// Whole is the trivial spec covering the entire grid.
+var Whole = ShardSpec{Index: 0, Count: 1}
+
+// Validate checks the invariants 0 <= Index < Count.
+func (s ShardSpec) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("sim: shard count %d must be >= 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sim: shard index %d out of range [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// ParseShard parses an "i/N" shard spec (shard i of N, 0-based). Malformed
+// or out-of-range specs — "0/0", "3/2", negatives, non-numeric — are
+// rejected rather than silently selecting nothing.
+func ParseShard(s string) (ShardSpec, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return ShardSpec{}, fmt.Errorf("sim: shard spec %q: want \"i/N\" (e.g. 0/4)", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(s[:i]))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("sim: shard spec %q: bad index: %v", s, err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("sim: shard spec %q: bad count: %v", s, err)
+	}
+	spec := ShardSpec{Index: idx, Count: n}
+	if err := spec.Validate(); err != nil {
+		return ShardSpec{}, fmt.Errorf("sim: shard spec %q: %v", s, err)
+	}
+	return spec, nil
+}
+
+// TraceFingerprint returns the trace's stable content hash
+// (trace.Trace.Fingerprint — cached on the trace, so grids that reuse one
+// Trace across many cells hash it once). Cell IDs computed by independent
+// workers match if and only if they simulated the same load. A nil trace
+// fingerprints to 0.
+func TraceFingerprint(tr *trace.Trace) uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.Fingerprint()
+}
+
+// CellID returns the job's canonical cell identifier:
+//
+//	<scenario>|<name>|fleet=<scale>|trace=<fingerprint>:<len>
+//
+// It is a pure function of the inputs that determine the cell's result, so
+// two processes enumerating the same grid derive the same IDs, and a
+// coordinator can validate a merged result set against the expected grid
+// without re-running anything. The fleet scale is canonicalized (0 and 1
+// both mean "unscaled") so a cell's identity matches its physics.
+func CellID(j SweepJob) string {
+	fs := j.FleetScale
+	if fs == 0 {
+		fs = 1
+	}
+	return fmt.Sprintf("%s|%s|fleet=%s|trace=%016x:%d",
+		j.Scenario, j.Name, strconv.FormatFloat(fs, 'g', -1, 64),
+		TraceFingerprint(j.Trace), traceLen(j.Trace))
+}
+
+func traceLen(tr *trace.Trace) int {
+	if tr == nil {
+		return 0
+	}
+	return tr.Len()
+}
+
+// ShardOf returns the shard (in [0, count)) that owns the cell with the
+// given canonical ID — an FNV-1a hash of the ID modulo the shard count, so
+// assignment is independent of grid enumeration order.
+func ShardOf(cellID string, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cellID))
+	return int(h.Sum64() % uint64(count))
+}
+
+// ShardJobs returns the sub-slice of jobs owned by spec, preserving grid
+// order. The union of all spec.Count shards is exactly jobs, and the
+// shards are pairwise disjoint (each cell hashes to one shard).
+func ShardJobs(jobs []SweepJob, spec ShardSpec) ([]SweepJob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Count == 1 {
+		return jobs, nil
+	}
+	var out []SweepJob
+	for _, j := range jobs {
+		if ShardOf(CellID(j), spec.Count) == spec.Index {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// CellIDs returns the canonical IDs of every job in grid order.
+func CellIDs(jobs []SweepJob) []string {
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = CellID(j)
+	}
+	return ids
+}
+
+// Scenarios lists the four §V-C scenarios in the paper's reporting order —
+// the scenario axis of every experiment grid.
+var Scenarios = []Scenario{
+	ScenarioUpperBoundGlobal,
+	ScenarioUpperBoundPerDay,
+	ScenarioBML,
+	ScenarioLowerBound,
+}
+
+// FleetGrid enumerates the scenario × fleet experiment grid over one trace:
+// for every fleet target (0 = paper scale) and every scenario, one SweepJob
+// whose FleetScale multiplies the load so the scheduler's peak combination
+// provisions ~n machines. Enumeration order — and therefore cell naming —
+// is deterministic, so independent worker processes given the same inputs
+// build identical grids and can shard them without coordination.
+func FleetGrid(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, fleets []int, opts ...Option) ([]SweepJob, error) {
+	if tr == nil || planner == nil {
+		return nil, fmt.Errorf("sim: fleet grid needs a trace and a planner")
+	}
+	if len(fleets) == 0 {
+		fleets = []int{0}
+	}
+	base := planner.Combination(tr.Max()).TotalNodes()
+	if base < 1 {
+		base = 1
+	}
+	var jobs []SweepJob
+	for _, n := range fleets {
+		if n < 0 {
+			return nil, fmt.Errorf("sim: fleet target %d must be >= 0", n)
+		}
+		scale := 0.0
+		if n > 0 {
+			scale = float64(n) / float64(base)
+		}
+		for _, sc := range Scenarios {
+			jobs = append(jobs, SweepJob{
+				Name:       fmt.Sprintf("%s/fleet=%d", sc, n),
+				Trace:      tr,
+				Planner:    planner,
+				Scenario:   sc,
+				BML:        cfg,
+				FleetScale: scale,
+				Options:    opts,
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// ParseFleets parses a comma-separated list of fleet targets ("0,100,1000")
+// into the FleetGrid fleet axis, deduplicated and sorted ascending so that
+// every ordering of the same targets enumerates the same canonical grid.
+func ParseFleets(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("sim: fleet list %q: %v", s, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("sim: fleet list %q: target %d must be >= 0", s, n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func shardTestTrace(t testing.TB, days int) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultWorldCupConfig()
+	cfg.Days = days
+	cfg.Seed = 4242
+	cfg.PeakRate = 3000
+	tr, err := trace.GenerateWorldCup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr, err = tr.Quantize(300); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func shardTestPlanner(t testing.TB) *bml.Planner {
+	t.Helper()
+	p, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseShard(t *testing.T) {
+	valid := map[string]ShardSpec{
+		"0/1":   {0, 1},
+		"0/4":   {0, 4},
+		"3/4":   {3, 4},
+		" 2/ 3": {2, 3},
+	}
+	for in, want := range valid {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	invalid := []string{"", "0/0", "1/1", "4/4", "-1/3", "1/-3", "2/1", "x/2", "1/y", "1", "1//2", "0.5/2"}
+	for _, in := range invalid {
+		if _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) unexpectedly succeeded", in)
+		}
+	}
+}
+
+func TestShardJobsPartition(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, []int{0, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("grid size = %d, want 12", len(jobs))
+	}
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		seen := map[string]int{}
+		total := 0
+		for i := 0; i < n; i++ {
+			shard, err := ShardJobs(jobs, ShardSpec{Index: i, Count: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := ShardJobs(jobs, ShardSpec{Index: i, Count: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shard) != len(again) {
+				t.Fatalf("shard %d/%d not stable across calls", i, n)
+			}
+			for _, j := range shard {
+				seen[CellID(j)]++
+				total++
+			}
+		}
+		if total != len(jobs) {
+			t.Errorf("N=%d: shards cover %d cells, want %d", n, total, len(jobs))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Errorf("N=%d: cell %s appears in %d shards", n, id, c)
+			}
+		}
+	}
+	if _, err := ShardJobs(jobs, ShardSpec{Index: 2, Count: 2}); err == nil {
+		t.Error("out-of-range spec unexpectedly accepted")
+	}
+}
+
+func TestCellIDStableAndDiscriminating(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	j := SweepJob{Name: "bml/fleet=0", Trace: tr, Planner: planner, Scenario: ScenarioBML}
+	if CellID(j) != CellID(j) {
+		t.Fatal("CellID not deterministic")
+	}
+	// FleetScale 0 and 1 are the same physics, so the same cell.
+	j1 := j
+	j1.FleetScale = 1
+	if CellID(j) != CellID(j1) {
+		t.Error("FleetScale 0 and 1 should canonicalize to the same cell ID")
+	}
+	j2 := j
+	j2.FleetScale = 2.5
+	if CellID(j) == CellID(j2) {
+		t.Error("different fleet scales must produce different cell IDs")
+	}
+	j3 := j
+	j3.Scenario = ScenarioLowerBound
+	if CellID(j) == CellID(j3) {
+		t.Error("different scenarios must produce different cell IDs")
+	}
+	other, err := tr.Scale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4 := j
+	j4.Trace = other
+	if CellID(j) == CellID(j4) {
+		t.Error("different traces must produce different cell IDs")
+	}
+	// Equal contents fingerprint equally even across distinct allocations
+	// (what makes worker and coordinator agree across processes).
+	clone := trace.MustNew(tr.Values())
+	if TraceFingerprint(tr) != TraceFingerprint(clone) {
+		t.Error("equal traces must fingerprint equally")
+	}
+}
+
+// TestShardedStreamMergeMatchesSweep is the acceptance property test: a
+// grid run as N independent shards, streamed to JSONL and merged, is
+// cell-for-cell identical to one in-process Sweep (energies to ≤1e-6 J,
+// counters exact).
+func TestShardedStreamMergeMatchesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard differential sweep")
+	}
+	tr := shardTestTrace(t, 2)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, []int{0, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := Sweep(jobs, 0)
+	want := make(map[string]CellRecord, len(single))
+	for _, r := range single {
+		if r.Err != nil {
+			t.Fatalf("single sweep cell %s: %v", r.Job.Name, r.Err)
+		}
+		rec := NewCellRecord(r)
+		want[rec.ID] = rec
+	}
+
+	const shards = 3
+	var streams bytes.Buffer
+	for i := 0; i < shards; i++ {
+		shard, err := ShardJobs(jobs, ShardSpec{Index: i, Count: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err = SweepStream(shard, 2, func(r SweepResult) error {
+			return WriteCellRecord(&buf, NewCellRecord(r))
+		})
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, shards, err)
+		}
+		streams.Write(buf.Bytes())
+	}
+
+	records, err := ReadCellRecords(&streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, stats, err := MergeCells(jobs, records)
+	if err != nil {
+		t.Fatalf("merge: %v (stats %+v)", err, stats)
+	}
+	if stats.Duplicates != 0 || len(merged) != len(jobs) {
+		t.Fatalf("merge stats %+v, merged %d cells, want %d", stats, len(merged), len(jobs))
+	}
+	for i, got := range merged {
+		if got.ID != CellID(jobs[i]) {
+			t.Fatalf("merged[%d] = %s, want grid order %s", i, got.ID, CellID(jobs[i]))
+		}
+		w := want[got.ID]
+		if math.Abs(got.TotalJ-w.TotalJ) > 1e-6 {
+			t.Errorf("%s: TotalJ %v vs %v (Δ %g)", got.ID, got.TotalJ, w.TotalJ, got.TotalJ-w.TotalJ)
+		}
+		if len(got.DailyJ) != len(w.DailyJ) {
+			t.Fatalf("%s: daily length %d vs %d", got.ID, len(got.DailyJ), len(w.DailyJ))
+		}
+		for d := range got.DailyJ {
+			if math.Abs(got.DailyJ[d]-w.DailyJ[d]) > 1e-6 {
+				t.Errorf("%s day %d: %v vs %v", got.ID, d+1, got.DailyJ[d], w.DailyJ[d])
+			}
+		}
+		if got.Decisions != w.Decisions || got.SwitchOns != w.SwitchOns ||
+			got.SwitchOffs != w.SwitchOffs || got.Skipped != w.Skipped {
+			t.Errorf("%s: counters (%d,%d,%d,%d) vs (%d,%d,%d,%d)", got.ID,
+				got.Decisions, got.SwitchOns, got.SwitchOffs, got.Skipped,
+				w.Decisions, w.SwitchOns, w.SwitchOffs, w.Skipped)
+		}
+		if got.Availability != w.Availability || got.LostRequests != w.LostRequests {
+			t.Errorf("%s: QoS %v/%v vs %v/%v", got.ID,
+				got.Availability, got.LostRequests, w.Availability, w.LostRequests)
+		}
+	}
+}
+
+func TestMergeDetectsIncompleteAndForeign(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []CellRecord
+	err = SweepStream(jobs, 0, func(r SweepResult) error {
+		records = append(records, NewCellRecord(r))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropping one cell must fail the merge and name the missing cell.
+	dropped := records[1:]
+	_, stats, err := MergeCells(jobs, dropped)
+	if err == nil {
+		t.Fatal("incomplete merge unexpectedly succeeded")
+	}
+	if len(stats.Missing) != 1 || stats.Missing[0] != records[0].ID {
+		t.Errorf("stats.Missing = %v, want [%s]", stats.Missing, records[0].ID)
+	}
+
+	// A record from another grid must be flagged as foreign.
+	foreign := append([]CellRecord{}, records...)
+	alien := records[0]
+	alien.ID = "bml|alien|fleet=1|trace=0000000000000000:0"
+	foreign = append(foreign, alien)
+	_, stats, err = MergeCells(jobs, foreign)
+	if err == nil || len(stats.Unknown) != 1 {
+		t.Errorf("foreign record not rejected: err=%v stats=%+v", err, stats)
+	}
+
+	// A failed cell with no successful re-run fails the merge...
+	failed := append([]CellRecord{}, records...)
+	failed[2].Err = "boom"
+	_, stats, err = MergeCells(jobs, failed)
+	if err == nil || len(stats.Failed) != 1 {
+		t.Errorf("failed cell not detected: err=%v stats=%+v", err, stats)
+	}
+
+	// ...but a successful re-run of the same cell heals it (dedup prefers
+	// success), and plain duplicates are counted.
+	healed := append(append([]CellRecord{}, failed...), records[2], records[3])
+	merged, stats, err := MergeCells(jobs, healed)
+	if err != nil {
+		t.Fatalf("healed merge failed: %v (stats %+v)", err, stats)
+	}
+	if stats.Duplicates != 2 || len(merged) != len(jobs) {
+		t.Errorf("healed merge stats %+v, merged %d", stats, len(merged))
+	}
+	for i, rec := range merged {
+		if rec.Err != "" || rec.ID != CellID(jobs[i]) {
+			t.Errorf("merged[%d] = %+v", i, rec)
+		}
+	}
+}
+
+func TestSweepStreamEmitErrorCancels(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, []int{0, 5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sink full")
+	var mu sync.Mutex
+	emitted := 0
+	err = SweepStream(jobs, 2, func(SweepResult) error {
+		mu.Lock()
+		defer mu.Unlock()
+		emitted++
+		if emitted == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("SweepStream error = %v, want sentinel", err)
+	}
+	if emitted >= len(jobs) {
+		t.Errorf("emit called %d times; cancellation should stop the stream early", emitted)
+	}
+}
+
+func TestCellRecordJSONRoundTrip(t *testing.T) {
+	rec := CellRecord{
+		ID: "bml|x|fleet=1|trace=00000000000000aa:42", Name: "x", Scenario: "bml",
+		FleetScale: 1.25, TraceHash: "00000000000000aa", TraceLen: 42,
+		TotalJ: 1234.567890123456, DailyJ: []float64{1.1, 2.2},
+		Decisions: 7, SwitchOns: 3, SwitchOffs: 2, Skipped: 1,
+		Availability: 0.999999999999, ViolationSeconds: 1.5, LostRequests: 0.25,
+		TransitionJ: 10, IdleJ: 20, DynamicJ: 30, WallMS: 1.75,
+	}
+	var buf bytes.Buffer
+	if err := WriteCellRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCellRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("records = %d", len(back))
+	}
+	got := back[0]
+	if got.TotalJ != rec.TotalJ || got.Availability != rec.Availability {
+		t.Errorf("float64 fields must round-trip exactly: %+v vs %+v", got, rec)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", rec) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestFleetGridCanonical(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	a, err := FleetGrid(tr, planner, BMLConfig{}, []int{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleets, err := ParseFleets(" 100, 0 ,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetGrid(tr, planner, BMLConfig{}, fleets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsA, idsB := CellIDs(a), CellIDs(b)
+	if len(idsA) != len(idsB) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(idsA), len(idsB))
+	}
+	inA := map[string]bool{}
+	for _, id := range idsA {
+		inA[id] = true
+	}
+	for _, id := range idsB {
+		if !inA[id] {
+			t.Errorf("cell %s only in one enumeration", id)
+		}
+	}
+	if _, err := ParseFleets("1,x"); err == nil {
+		t.Error("bad fleet list accepted")
+	}
+	if _, err := ParseFleets("-1"); err == nil {
+		t.Error("negative fleet accepted")
+	}
+}

@@ -38,7 +38,13 @@
 // QoS and reconfiguration statistics. RunAll and Sweep (parallel.go) fan
 // scenario × trace × fleet grids out across cores; SweepJob.FleetScale
 // multiplies a job's offered load so grids can exercise thousand-node
-// clusters.
+// clusters. Beyond one process, grids shard deterministically across
+// workers by canonical cell ID (shard.go) and stream each completed cell
+// as a self-describing JSONL record (stream.go) that a coordinator
+// (cmd/bmlsweep) merges, deduplicates, and validates for completeness —
+// peak memory is one shard's working set, not the grid. Cells of the same
+// sweep share per-trace predictor precomputation and fleet-scaled trace
+// copies.
 package sim
 
 import (

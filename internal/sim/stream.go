@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file is the streaming half of distributed sweeps. SweepStream runs
+// a (possibly sharded) grid through the worker pool and hands each
+// completed cell to an emit callback instead of accumulating a result
+// slice, so a worker process's peak memory is bounded by the cells in
+// flight, not the grid. CellRecord is the self-describing JSONL wire
+// format those cells leave the process in; MergeCells is the coordinator
+// side that validates a set of streamed records against the expected grid,
+// deduplicates re-run cells, and restores grid order for reporting.
+
+// CellRecord is one completed sweep cell in self-describing form: enough
+// identity to validate it against a grid re-enumerated elsewhere (cell ID,
+// scenario, fleet scale, trace fingerprint) plus the full result payload
+// (energies in joules, scheduler counters, QoS, wall time). Records are
+// exchanged as JSON Lines; float64 values round-trip exactly through
+// encoding/json, so merged results are bit-identical to in-process ones.
+type CellRecord struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	Scenario   string  `json:"scenario"`
+	FleetScale float64 `json:"fleet_scale"`
+	TraceHash  string  `json:"trace_hash"`
+	TraceLen   int     `json:"trace_len"`
+
+	TotalJ float64   `json:"total_J"`
+	DailyJ []float64 `json:"daily_J,omitempty"`
+
+	Decisions  int     `json:"decisions,omitempty"`
+	SwitchOns  int     `json:"switch_ons,omitempty"`
+	SwitchOffs int     `json:"switch_offs,omitempty"`
+	Skipped    int     `json:"skipped,omitempty"`
+	MigrationJ float64 `json:"migration_J,omitempty"`
+
+	Availability     float64 `json:"availability"`
+	ViolationSeconds float64 `json:"violation_s,omitempty"`
+	LostRequests     float64 `json:"lost_requests,omitempty"`
+
+	TransitionJ float64 `json:"transition_J,omitempty"`
+	IdleJ       float64 `json:"idle_J,omitempty"`
+	DynamicJ    float64 `json:"dynamic_J,omitempty"`
+
+	WallMS float64 `json:"wall_ms"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// NewCellRecord flattens a SweepResult into its wire form.
+func NewCellRecord(r SweepResult) CellRecord {
+	fs := r.Job.FleetScale
+	if fs == 0 {
+		fs = 1
+	}
+	rec := CellRecord{
+		ID:         CellID(r.Job),
+		Name:       r.Job.Name,
+		Scenario:   string(r.Job.Scenario),
+		FleetScale: fs,
+		TraceHash:  fmt.Sprintf("%016x", TraceFingerprint(r.Job.Trace)),
+		TraceLen:   traceLen(r.Job.Trace),
+		WallMS:     float64(r.Wall) / float64(time.Millisecond),
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+		return rec
+	}
+	res := r.Result
+	rec.TotalJ = float64(res.TotalEnergy)
+	rec.DailyJ = make([]float64, len(res.DailyEnergy))
+	for i, e := range res.DailyEnergy {
+		rec.DailyJ[i] = float64(e)
+	}
+	rec.Decisions = res.Decisions
+	rec.SwitchOns = res.SwitchOns
+	rec.SwitchOffs = res.SwitchOffs
+	rec.Skipped = res.Skipped
+	rec.MigrationJ = float64(res.MigrationEnergy)
+	rec.Availability = res.QoS.Availability()
+	rec.ViolationSeconds = res.QoS.ViolationSeconds()
+	rec.LostRequests = res.QoS.LostRequests()
+	rec.TransitionJ = float64(res.Breakdown.Transition)
+	rec.IdleJ = float64(res.Breakdown.Idle)
+	rec.DynamicJ = float64(res.Breakdown.Dynamic)
+	return rec
+}
+
+// WriteCellRecord appends rec to w as one JSON line.
+func WriteCellRecord(w io.Writer, rec CellRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCellRecords parses a JSONL stream of cell records, ignoring blank
+// lines (a truncated final line from a crashed worker is reported as an
+// error with its line number).
+func ReadCellRecords(r io.Reader) ([]CellRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var out []CellRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec CellRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("sim: cell record line %d: %w", line, err)
+		}
+		if rec.ID == "" {
+			return nil, fmt.Errorf("sim: cell record line %d: missing id", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepStream executes jobs across a bounded worker pool, handing each
+// SweepResult to emit as soon as its cell completes (completion order, not
+// grid order). Emit calls are serialized, so an emit that writes JSONL to
+// a file needs no locking of its own. Nothing is retained after emit
+// returns: the stream's working set is the cells currently in flight,
+// which is what lets one process chew through fleet-scaled grids far
+// larger than memory. Per-trace predictor precomputation and fleet-scaled
+// trace copies are shared across the stream's cells (one trace.SlidingMax
+// per distinct trace × window, not per cell). An emit error cancels the
+// remaining cells and is returned; individual cell failures are delivered
+// in their SweepResult like Sweep does.
+func SweepStream(jobs []SweepJob, workers int, emit func(SweepResult) error) error {
+	if emit == nil {
+		return errors.New("sim: SweepStream needs an emit callback")
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cache := newSweepCache()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		emitErr error
+		stop    = make(chan struct{})
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				res, err := jobs[i].runWith(cache)
+				r := SweepResult{Job: jobs[i], Index: i, Result: res, Err: err, Wall: time.Since(start)}
+				mu.Lock()
+				if emitErr == nil {
+					if eerr := emit(r); eerr != nil {
+						emitErr = eerr
+						close(stop)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return emitErr
+}
+
+// MergeStats describes what MergeCells saw: how many records arrived, how
+// many were duplicate re-runs of the same cell, and which expected cells
+// are missing, foreign to the grid, or failed.
+type MergeStats struct {
+	Records    int
+	Duplicates int
+	Missing    []string // expected cell IDs with no record
+	Unknown    []string // record IDs that are not cells of the expected grid
+	Failed     []string // cell IDs whose only records carry errors
+}
+
+// Complete reports whether the merge covered the whole grid cleanly.
+func (s MergeStats) Complete() bool {
+	return len(s.Missing) == 0 && len(s.Unknown) == 0 && len(s.Failed) == 0
+}
+
+// MergeCells validates streamed records against the expected grid and
+// returns one record per expected cell, restored to grid order. Re-run
+// cells (the same cell ID appearing in several inputs, e.g. a retried CI
+// matrix job) are deduplicated: the first successful record wins, and a
+// successful record always replaces a failed one. The merge fails — with
+// the full accounting in MergeStats — if any expected cell is missing or
+// only failed, or if a record belongs to a different grid (wrong trace,
+// scenario set, or fleet axis).
+func MergeCells(expected []SweepJob, records []CellRecord) ([]CellRecord, MergeStats, error) {
+	ids := CellIDs(expected)
+	want := make(map[string]int, len(ids))
+	for i, id := range ids {
+		want[id] = i
+	}
+	stats := MergeStats{Records: len(records)}
+	byID := make(map[string]CellRecord, len(ids))
+	for _, rec := range records {
+		if _, ok := want[rec.ID]; !ok {
+			stats.Unknown = append(stats.Unknown, rec.ID)
+			continue
+		}
+		prev, seen := byID[rec.ID]
+		if !seen {
+			byID[rec.ID] = rec
+			continue
+		}
+		stats.Duplicates++
+		if prev.Err != "" && rec.Err == "" {
+			byID[rec.ID] = rec
+		}
+	}
+	out := make([]CellRecord, 0, len(ids))
+	for _, id := range ids {
+		rec, ok := byID[id]
+		switch {
+		case !ok:
+			stats.Missing = append(stats.Missing, id)
+		case rec.Err != "":
+			stats.Failed = append(stats.Failed, id)
+		default:
+			out = append(out, rec)
+		}
+	}
+	if !stats.Complete() {
+		return out, stats, fmt.Errorf("sim: merge incomplete: %d/%d cells ok (%d missing, %d failed, %d foreign records)",
+			len(out), len(ids), len(stats.Missing), len(stats.Failed), len(stats.Unknown))
+	}
+	return out, stats, nil
+}

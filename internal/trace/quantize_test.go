@@ -9,8 +9,8 @@ func TestNextChange(t *testing.T) {
 	tr := MustNew([]float64{1, 1, 1, 2, 2, 3, 3, 3})
 	cases := []struct{ at, want int }{
 		{0, 3}, {1, 3}, {2, 3}, {3, 5}, {4, 5}, {5, 8}, {7, 8},
-		{-4, 3},  // clamps like At
-		{99, 8},  // past the end
+		{-4, 3}, // clamps like At
+		{99, 8}, // past the end
 	}
 	for _, c := range cases {
 		if got := tr.NextChange(c.at); got != c.want {

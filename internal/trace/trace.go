@@ -8,19 +8,28 @@
 package trace
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 )
 
 // SecondsPerDay is the number of samples per day at 1 Hz.
 const SecondsPerDay = 86400
 
 // Trace is a load time series sampled once per second. Values are in
-// application-metric units and must be finite and non-negative.
+// application-metric units and must be finite and non-negative. Values
+// are immutable after construction, which is what lets fingerprints be
+// cached and traces be shared freely across concurrent simulations.
 type Trace struct {
 	values []float64
+
+	// Fingerprint cache (computed at most once; see Fingerprint).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Validation errors.
@@ -55,6 +64,26 @@ func MustNew(values []float64) *Trace {
 
 // Len returns the number of one-second samples.
 func (t *Trace) Len() int { return len(t.values) }
+
+// Fingerprint returns a stable FNV-1a hash of the trace contents (length
+// plus every sample bit pattern), computed once per Trace and cached.
+// Two traces with equal samples fingerprint equally across processes,
+// which is what lets distributed sweep workers and coordinators agree on
+// canonical cell identities without exchanging the trace itself.
+func (t *Trace) Fingerprint() uint64 {
+	t.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(t.values)))
+		h.Write(buf[:])
+		for _, v := range t.values {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+		t.fp = h.Sum64()
+	})
+	return t.fp
+}
 
 // At returns the load at second i. Out-of-range indices clamp to the trace
 // boundary, which lets predictors look past the end without special cases.

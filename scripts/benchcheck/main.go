@@ -1,0 +1,133 @@
+// Command benchcheck is the CI benchmark-regression gate: it parses the
+// output of a `go test -bench` smoke run (-benchtime=1x) and compares each
+// benchmark's ns/op against the committed baseline snapshot
+// (BENCH_sim.json), failing when any benchmark is slower than the baseline
+// by more than a generous factor. Single-iteration timings on shared CI
+// runners are noisy, so the default threshold (10x) only catches
+// order-of-magnitude regressions — an accidental O(fleet) scan back on the
+// hot path, a predictor rebuilt per cell — not percent-level drift.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'EngineDayTrace|FleetScaling' -benchtime 1x . | tee bench.txt
+//	go run ./scripts/benchcheck -baseline BENCH_sim.json -results bench.txt -factor 10
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the slice of BENCH_sim.json benchcheck consumes.
+type baseline struct {
+	Results []struct {
+		Benchmark string  `json:"benchmark"`
+		NsPerOp   float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	var (
+		baselinePath = flag.String("baseline", "BENCH_sim.json", "committed benchmark snapshot")
+		resultsPath  = flag.String("results", "", "`go test -bench` output to check (default stdin)")
+		factor       = flag.Float64("factor", 10, "fail when measured ns/op exceeds baseline × factor")
+	)
+	flag.Parse()
+	if *factor <= 1 {
+		log.Fatalf("invalid -factor %g (want > 1)", *factor)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("%s: %v", *baselinePath, err)
+	}
+
+	in := os.Stdin
+	if *resultsPath != "" {
+		f, err := os.Open(*resultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBenchOutput(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(measured) == 0 {
+		log.Fatal("no benchmark results found (did the bench run fail?)")
+	}
+
+	regressions, compared := 0, 0
+	for _, b := range base.Results {
+		got, ok := measured[b.Benchmark]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := got / b.NsPerOp
+		status := "ok"
+		if ratio > *factor {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-55s baseline %12.0f ns/op  measured %12.0f ns/op  ratio %5.2fx  %s\n",
+			b.Benchmark, b.NsPerOp, got, ratio, status)
+	}
+	if compared == 0 {
+		log.Fatal("no measured benchmark matched the baseline — name drift between bench_test.go and BENCH_sim.json?")
+	}
+	if regressions > 0 {
+		log.Fatalf("%d of %d benchmarks regressed past %gx the committed baseline", regressions, compared, *factor)
+	}
+	fmt.Printf("%d benchmarks within %gx of baseline\n", compared, *factor)
+}
+
+// parseBenchOutput extracts "BenchmarkName ns/op" pairs from go test -bench
+// output. Names are normalized by stripping the trailing -GOMAXPROCS
+// suffix so they match the snapshot's names; when a benchmark appears
+// multiple times the slowest run is kept (conservative for a gate).
+func parseBenchOutput(f *os.File) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
+			}
+			if ns > out[name] {
+				out[name] = ns
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}

@@ -15,17 +15,26 @@
 //	bmlsim -engine tick            # legacy 1 Hz loop (oracle only — see below)
 //	bmlsim -sweep -fleets 0,100,1000 -out cells.jsonl    # stream the whole grid
 //	bmlsim -sweep -fleets 0,1000 -shard 0/4 -out s0.jsonl # run shard 0 of 4
+//	bmlsim -sweep -fleets 0,1000 -shard 0/4 -sink http://host:8080  # stream to a bmlsweep coordinator
+//	bmlsim -sweep -only pending.txt -sink http://host:8080          # re-dispatch only the listed cells
 //
 // Sweep worker mode (-sweep) replaces the Figure 5 evaluation with a
 // scenario × fleet experiment grid: every cell is simulated independently
-// and streamed to -out as one JSONL record the moment it completes, so
-// peak memory is bounded by the cells in flight rather than the grid.
+// and streamed the moment it completes — to -out as one JSONL record, to
+// a bmlsweep coordinator's ingest endpoint with -sink URL (each record is
+// POSTed with retry/backoff as soon as the cell finishes, so a worker
+// killed mid-grid has already made every completed cell durable on the
+// coordinator), or both — so peak memory is bounded by the cells in
+// flight rather than the grid.
 // -shard i/N restricts the run to the deterministic shard i of N (cells
 // are assigned by hashing their canonical cell ID, so any process
 // enumerating the same grid agrees on the split without coordination —
 // this is how a CI matrix or a fleet of hosts divides a grid). Merge and
-// validate the shards with cmd/bmlsweep. -first/-last are ignored in
-// sweep mode (cells replay the whole trace), and the ablation knobs
+// validate the shards with cmd/bmlsweep. -only file further restricts the
+// run to an explicit set of canonical cell IDs — the coordinator's
+// GET /v1/pending output — which is how crashed workers' cells are
+// re-dispatched without re-running anything else. -first/-last are
+// ignored in sweep mode (cells replay the whole trace), and the ablation knobs
 // (-predictor, -error, -headroom, -window-factor, -overhead-aware,
 // -amortize, -critical) are classic-mode only: they change cell results
 // without changing canonical cell IDs, so divergent workers would merge
@@ -86,6 +95,9 @@ func main() {
 		fleets    = flag.String("fleets", "", "comma-separated fleet targets for -sweep (default: the -fleet value)")
 		shard     = flag.String("shard", "", "with -sweep: run only shard i/N of the grid (e.g. 0/4)")
 		outFile   = flag.String("out", "", "with -sweep: stream JSONL cell records to this file (default stdout)")
+		sink      = flag.String("sink", "", "with -sweep: also stream each cell to this bmlsweep ingest URL (POST <url>/v1/cells, retry/backoff)")
+		only      = flag.String("only", "", "with -sweep: run only the canonical cell IDs listed in this file (\"-\" = stdin) — feed a coordinator's GET /v1/pending output here to re-dispatch a crashed worker's cells")
+		dieAfter  = flag.Int("die-after", 0, "with -sweep: abort the process (exit 3, no flush) after streaming N cells — fault injection for kill-and-resume end-to-end tests")
 	)
 	flag.Parse()
 
@@ -93,14 +105,27 @@ func main() {
 	// shard specs (0/0, i >= N, negatives) fail loudly instead of silently
 	// running nothing.
 	if !*sweep {
-		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets} {
+		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only} {
 			if v != "" {
 				log.Fatalf("%s requires -sweep", flagName)
 			}
 		}
-	} else if *shard != "" {
-		if _, err := sim.ParseShard(*shard); err != nil {
-			log.Fatal(err)
+		if *dieAfter != 0 {
+			log.Fatal("-die-after requires -sweep")
+		}
+	} else {
+		if *shard != "" {
+			if _, err := sim.ParseShard(*shard); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *sink != "" {
+			if _, err := sim.NewHTTPSink(*sink); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *dieAfter < 0 {
+			log.Fatalf("invalid -die-after %d", *dieAfter)
 		}
 	}
 
@@ -211,7 +236,7 @@ func main() {
 		}
 		// The zero BMLConfig, exactly what the bmlsweep coordinator
 		// re-enumerates the expected grid with.
-		runSweepMode(tr, sim.BMLConfig{}, simOpts, fleetAxis, *shard, *outFile)
+		runSweepMode(tr, sim.BMLConfig{}, simOpts, fleetAxis, *shard, *outFile, *sink, *only, *dieAfter)
 		return
 	}
 

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/bml"
 	"repro/internal/profile"
@@ -11,13 +17,26 @@ import (
 )
 
 // Sweep worker mode (-sweep): enumerate the scenario × fleet grid over the
-// trace, keep only the cells of this worker's shard (-shard i/N), and
-// stream each completed cell to -out as one self-describing JSONL record.
-// Nothing is accumulated: peak memory is bounded by the cells in flight,
-// so fleet-scaled grids far larger than one machine's memory run as N
-// worker processes whose outputs cmd/bmlsweep (or a CI matrix collector)
-// merges and validates.
-func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, fleetsFlag, shardFlag, outPath string) {
+// trace, keep only the cells of this worker's shard (-shard i/N) — further
+// restricted to an explicit cell set with -only (how a coordinator
+// re-dispatches exactly the cells a crashed worker never streamed — see
+// GET /v1/pending) — and stream each completed cell as one self-describing
+// record to any combination of a local JSONL file (-out) and a bmlsweep
+// ingest endpoint (-sink URL, POST /v1/cells with retry/backoff). Nothing
+// is accumulated: peak memory is bounded by the cells in flight, so
+// fleet-scaled grids far larger than one machine's memory run as N worker
+// processes whose outputs cmd/bmlsweep merges and validates.
+//
+// On SIGINT/SIGTERM the worker stops taking new cells, flushes the sinks
+// so every completed cell is durable, and exits 1. -die-after N instead
+// aborts the process the instant the Nth cell has been emitted — fault
+// injection for the kill-and-resume end-to-end tests (exit code 3).
+
+// dieAfterExitCode distinguishes deliberate fault injection from real
+// failures in the resume end-to-end tests.
+const dieAfterExitCode = 3
+
+func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, fleetsFlag, shardFlag, outPath, sinkURL, onlyPath string, dieAfter int) {
 	planner, err := bml.NewPlanner(profile.PaperMachines())
 	if err != nil {
 		log.Fatal(err)
@@ -40,23 +59,50 @@ func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, f
 	if err != nil {
 		log.Fatal(err)
 	}
+	if onlyPath != "" {
+		shard = filterOnly(shard, jobs, onlyPath)
+	}
 
-	out := os.Stdout
+	// Assemble the sink stack: -out file and/or -sink endpoint; plain
+	// stdout JSONL when neither is given.
+	var sinks sim.MultiSink
+	var outFile *os.File
 	if outPath != "" && outPath != "-" {
 		f, err := os.Create(outPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
-		out = f
+		outFile = f
+		sinks = append(sinks, sim.NewWriterSink(f))
 	}
+	if sinkURL != "" {
+		hs, err := sim.NewHTTPSink(sinkURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sinks = append(sinks, hs)
+	}
+	if len(sinks) == 0 {
+		sinks = append(sinks, sim.NewWriterSink(os.Stdout))
+	}
+
+	// Graceful shutdown: a signal stops new cells, but every cell already
+	// in flight is still emitted (sim.ErrStopStream drains the stream),
+	// then the sinks flush below — nothing already computed is discarded.
+	var stopping atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		log.Printf("received %v: finishing in-flight cells, flushing sinks", s)
+		stopping.Store(true)
+	}()
 
 	done, failed := 0, 0
 	err = sim.SweepStream(shard, 0, func(r sim.SweepResult) error {
+		if err := sinks.Emit(sim.NewCellRecord(r)); err != nil {
+			return err
+		}
 		done++
 		if r.Err != nil {
 			failed++
@@ -65,10 +111,33 @@ func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, f
 			log.Printf("cell %s done in %.1f ms (%d/%d)", r.Job.Name,
 				float64(r.Wall.Microseconds())/1e3, done, len(shard))
 		}
-		return sim.WriteCellRecord(out, sim.NewCellRecord(r))
+		if dieAfter > 0 && done >= dieAfter {
+			// Simulated crash: no flush, no file close — exactly what the
+			// journal + pending-set resume machinery must tolerate.
+			log.Printf("fault injection: aborting after %d streamed cells", done)
+			os.Exit(dieAfterExitCode)
+		}
+		if stopping.Load() {
+			return sim.ErrStopStream
+		}
+		return nil
 	})
-	if err != nil {
+	ferr := sinks.Close()
+	if outFile != nil {
+		if cerr := outFile.Close(); cerr != nil && ferr == nil {
+			ferr = cerr
+		}
+	}
+	switch {
+	case errors.Is(err, sim.ErrStopStream):
+		if ferr != nil {
+			log.Fatalf("flush after interrupt: %v", ferr)
+		}
+		log.Fatalf("interrupted: %d/%d cells streamed and flushed; resume with the coordinator's /v1/pending set", done, len(shard))
+	case err != nil:
 		log.Fatal(err)
+	case ferr != nil:
+		log.Fatal(ferr)
 	}
 	log.Printf("shard %s: streamed %d/%d cells of a %d-cell grid", spec, done, len(shard), len(jobs))
 	if failed > 0 {
@@ -77,4 +146,52 @@ func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, f
 	if done != len(shard) {
 		log.Fatalf("streamed %d cells, expected %d", done, len(shard))
 	}
+}
+
+// filterOnly restricts shard to the canonical cell IDs listed in path (one
+// per line, "-" for stdin; blank lines and #-comments ignored) — the
+// re-dispatch contract: a coordinator's /v1/pending output fed straight
+// back into a worker. IDs that do not belong to the enumerated grid are a
+// hard error (they mean worker and coordinator disagree about the grid
+// flags); IDs owned by other shards are silently skipped so -only and
+// -shard compose.
+func filterOnly(shard, grid []sim.SweepJob, path string) []sim.SweepJob {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	want := map[string]bool{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		id := strings.TrimSpace(sc.Text())
+		if id == "" || strings.HasPrefix(id, "#") {
+			continue
+		}
+		want[id] = true
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	inGrid := map[string]bool{}
+	for _, j := range grid {
+		inGrid[sim.CellID(j)] = true
+	}
+	for id := range want {
+		if !inGrid[id] {
+			log.Fatalf("-only cell %q is not in this grid (mismatched grid flags between worker and coordinator?)", id)
+		}
+	}
+	var out []sim.SweepJob
+	for _, j := range shard {
+		if want[sim.CellID(j)] {
+			out = append(out, j)
+		}
+	}
+	log.Printf("-only: restricted to %d of %d shard cells (%d requested)", len(out), len(shard), len(want))
+	return out
 }

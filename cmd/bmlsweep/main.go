@@ -1,16 +1,29 @@
-// Command bmlsweep coordinates distributed scenario × fleet sweeps: it
-// either spawns N local bmlsim worker processes (one per shard) or merges
-// JSONL result files produced elsewhere (e.g. by CI matrix jobs running
-// `bmlsim -sweep -shard i/N`), then validates the merged records against
-// the expected grid — every cell present exactly once, no cells from a
-// different grid, no failed cells — deduplicates re-run cells, and renders
-// the merged report through internal/report.
+// Command bmlsweep coordinates distributed scenario × fleet sweeps, over
+// files or over the network:
+//
+//   - spawn N local bmlsim worker processes (one per shard) and merge
+//     their JSONL outputs;
+//   - merge JSONL result files produced elsewhere (e.g. by CI matrix jobs
+//     running `bmlsim -sweep -shard i/N`);
+//   - run an HTTP ingest coordinator (-serve) that workers on any host
+//     stream cells to (`bmlsim -sweep -sink URL`), journaling every
+//     received record so a killed run is resumable;
+//   - resume an interrupted run from its journal (-resume), re-dispatching
+//     only the cells no worker ever streamed.
+//
+// In every mode the merged records are validated against the expected
+// grid — every cell present exactly once, no cells from a different grid,
+// no failed cells — deduplicated (first success wins), and rendered
+// through internal/report.
 //
 // Usage:
 //
 //	bmlsweep -spawn 4 -days 7 -quantize 300 -fleets 0,100,1000   # local fan-out
 //	bmlsweep -days 7 -quantize 300 -fleets 0,100,1000 shard-*.jsonl  # merge CI artifacts
 //	bmlsweep -spawn 2 -csv > grid.csv                            # machine-readable merge
+//	bmlsweep -serve 127.0.0.1:8080 -journal j.jsonl -fleets 0,1000   # network ingest
+//	bmlsweep -serve 127.0.0.1:8080 -journal j.jsonl -spawn 4 -fleets 0,1000  # + local workers, auto re-dispatch
+//	bmlsweep -resume j.jsonl -spawn 2 -fleets 0,1000             # re-dispatch only missing cells
 //
 // The grid flags (-days, -peak, -seed, -trace, -quantize, -fleets) must
 // match the ones the workers ran with: the coordinator re-enumerates the
@@ -18,6 +31,12 @@
 // embedded in each record (scenario, fleet scale, trace fingerprint) make
 // any mismatch — a different trace, a missing shard, a half-written file —
 // a hard validation error instead of a silently wrong report.
+//
+// Exit codes (scriptable; also printed by -h):
+//
+//	0  grid complete: every expected cell merged and validated
+//	1  grid incomplete: missing or failed cells, -wait timeout, interrupt
+//	2  usage or I/O error: bad flags, unreadable inputs, bind failure
 //
 // Because workers stream each cell as it completes and the coordinator
 // only ever holds the flattened per-cell records, the peak memory of a
@@ -41,50 +60,125 @@ import (
 	"repro/internal/trace"
 )
 
+// The bmlsweep exit-code contract. CI jobs branch on these (see the
+// sweep-e2e job in .github/workflows/ci.yml), so they are part of the
+// command's interface and pinned by cmd-level tests.
+const (
+	exitComplete   = 0 // every expected cell merged and validated
+	exitIncomplete = 1 // missing/failed cells, timeout, or interrupted
+	exitUsage      = 2 // bad flags, unreadable inputs, bind failure
+)
+
+// die logs and exits with the given contract code.
+func die(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}
+
+// gridFlags is the grid identity shared by every mode: coordinator and
+// workers must enumerate the same grid from the same values.
+type gridFlags struct {
+	traceFile string
+	days      int
+	peak      float64
+	seed      int64
+	quantize  int
+	fleets    string
+}
+
+// workerArgs renders the flags a spawned bmlsim worker needs to enumerate
+// this same grid.
+func (g gridFlags) workerArgs() []string {
+	args := []string{"-sweep", "-fleets", g.fleets}
+	if g.traceFile != "" {
+		args = append(args, "-trace", g.traceFile)
+	} else {
+		args = append(args,
+			"-days", fmt.Sprint(g.days),
+			"-peak", fmt.Sprint(g.peak),
+			"-seed", fmt.Sprint(g.seed))
+	}
+	if g.quantize > 0 {
+		args = append(args, "-quantize", fmt.Sprint(g.quantize))
+	}
+	return args
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bmlsweep: ")
 	var (
-		days      = flag.Int("days", 92, "days to generate when no trace file is given")
-		peak      = flag.Float64("peak", 5000, "generated trace peak rate")
-		seed      = flag.Int64("seed", 1998, "generator seed")
-		traceFile = flag.String("trace", "", "replay this trace file instead of generating")
-		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds")
-		fleets    = flag.String("fleets", "0", "comma-separated fleet targets of the grid")
-		spawn     = flag.Int("spawn", 0, "spawn this many local bmlsim worker processes, one per shard")
-		bin       = flag.String("bin", "", "bmlsim binary for -spawn (default: next to this executable, then $PATH)")
-		dir       = flag.String("dir", "", "scratch directory for -spawn shard outputs (default: a temp dir)")
-		csv       = flag.Bool("csv", false, "emit the merged grid as CSV instead of a table")
+		days       = flag.Int("days", 92, "days to generate when no trace file is given")
+		peak       = flag.Float64("peak", 5000, "generated trace peak rate")
+		seed       = flag.Int64("seed", 1998, "generator seed")
+		traceFile  = flag.String("trace", "", "replay this trace file instead of generating")
+		quantize   = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds")
+		fleets     = flag.String("fleets", "0", "comma-separated fleet targets of the grid")
+		spawn      = flag.Int("spawn", 0, "spawn this many local bmlsim worker processes, one per shard")
+		bin        = flag.String("bin", "", "bmlsim binary for spawned workers (default: next to this executable, then $PATH)")
+		dir        = flag.String("dir", "", "scratch directory for spawned shard outputs (default: a temp dir)")
+		csv        = flag.Bool("csv", false, "emit the merged grid as CSV instead of a table")
+		serve      = flag.String("serve", "", "run the HTTP ingest coordinator on this address (e.g. 127.0.0.1:8080; port 0 picks a free port) — workers stream to it with bmlsim -sink")
+		journal    = flag.String("journal", "", "with -serve: append every received cell record to this JSONL journal; existing records prime the pending set, making the run resumable")
+		resume     = flag.String("resume", "", "resume from this journal: load its records, re-dispatch only the missing cells to spawned workers, merge, report")
+		wait       = flag.Duration("wait", 0, "with -serve: exit 1 after this long with the grid still incomplete (0 = wait forever)")
+		redispatch = flag.Int("redispatch", 2, "with -serve -spawn: rounds of pending-cell re-dispatch after the initial workers exit")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	files := flag.Args()
+	serveMode := *serve != ""
+	resumeMode := *resume != ""
 	switch {
-	case *spawn > 0 && len(files) > 0:
-		log.Fatal("use either -spawn N or a list of JSONL files to merge, not both")
+	case serveMode && resumeMode:
+		die(exitUsage, "use either -serve (live coordinator, resumable via -journal) or -resume (offline re-dispatch), not both")
+	case serveMode && len(files) > 0:
+		die(exitUsage, "-serve ingests records over HTTP; it does not take JSONL file arguments")
+	case resumeMode && len(files) > 0:
+		die(exitUsage, "-resume reads the journal; it does not take extra JSONL file arguments")
+	case *journal != "" && !serveMode:
+		die(exitUsage, "-journal requires -serve (to read a journal back, use -resume)")
+	case *wait != 0 && !serveMode:
+		die(exitUsage, "-wait requires -serve")
+	case *wait < 0:
+		die(exitUsage, "invalid -wait %v", *wait)
+	case *redispatch < 0:
+		die(exitUsage, "invalid -redispatch %d", *redispatch)
 	case *spawn < 0:
-		log.Fatalf("invalid -spawn %d", *spawn)
-	case *spawn == 0 && len(files) == 0:
-		log.Fatal("nothing to do: give -spawn N to run workers or JSONL files to merge")
+		die(exitUsage, "invalid -spawn %d", *spawn)
+	case !serveMode && !resumeMode && *spawn > 0 && len(files) > 0:
+		die(exitUsage, "use either -spawn N or a list of JSONL files to merge, not both")
+	case !serveMode && !resumeMode && *spawn == 0 && len(files) == 0:
+		die(exitUsage, "nothing to do: give -spawn N, JSONL files to merge, -serve addr, or -resume journal (see -h)")
 	}
 
-	tr := buildTrace(*traceFile, *days, *peak, *seed, *quantize)
+	grid := gridFlags{traceFile: *traceFile, days: *days, peak: *peak,
+		seed: *seed, quantize: *quantize, fleets: *fleets}
+	tr := buildTrace(grid)
 	planner, err := bml.NewPlanner(profile.PaperMachines())
 	if err != nil {
-		log.Fatal(err)
+		die(exitUsage, "%v", err)
 	}
 	fleetAxis, err := sim.ParseFleets(*fleets)
 	if err != nil {
-		log.Fatal(err)
+		die(exitUsage, "%v", err)
 	}
 	jobs, err := sim.FleetGrid(tr, planner, sim.BMLConfig{}, fleetAxis)
 	if err != nil {
-		log.Fatal(err)
+		die(exitUsage, "%v", err)
+	}
+
+	switch {
+	case serveMode:
+		os.Exit(runServe(*serve, jobs, *journal, *spawn, *bin, *dir, grid, *wait, *redispatch, *csv))
+	case resumeMode:
+		os.Exit(runResume(*resume, jobs, *spawn, *bin, *dir, grid, *csv))
 	}
 
 	spawned := *spawn > 0
 	if spawned {
-		files = spawnWorkers(*spawn, *bin, *dir, *traceFile, *days, *peak, *seed, *quantize, *fleets)
+		files = spawnWorkers(*spawn, *bin, *dir, grid, nil, true)
 	}
 
 	var records []sim.CellRecord
@@ -98,110 +192,153 @@ func main() {
 				log.Printf("skipping %v", err)
 				continue
 			}
-			log.Fatal(err)
+			die(exitUsage, "%v", err)
 		}
 		recs, err := sim.ReadCellRecords(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			if spawned {
+				// A crashed worker's half-written file: merge nothing from
+				// it and let the missing cells be named below.
+				log.Printf("skipping %s: %v", name, err)
+				continue
+			}
+			die(exitUsage, "%s: %v", name, err)
 		}
 		records = append(records, recs...)
 	}
 
 	cells, stats, err := sim.MergeCells(jobs, records)
 	if err != nil {
-		for _, id := range stats.Missing {
-			log.Printf("missing cell: %s", id)
-		}
-		for _, id := range stats.Failed {
-			log.Printf("failed cell: %s", id)
-		}
-		for _, id := range stats.Unknown {
-			log.Printf("foreign record (not in this grid): %s", id)
-		}
-		log.Fatal(err)
+		printMergeDiagnostics(stats)
+		die(exitIncomplete, "%v", err)
 	}
 	log.Printf("merged %d records from %d files into %d cells (%d duplicates deduplicated)",
 		stats.Records, len(files), len(cells), stats.Duplicates)
+	os.Exit(render(cells, *csv))
+}
 
-	if *csv {
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `bmlsweep coordinates distributed scenario × fleet sweeps.
+
+Modes:
+  bmlsweep -spawn N <grid flags>              spawn N local workers, merge, report
+  bmlsweep <grid flags> a.jsonl b.jsonl       merge worker JSONL files, report
+  bmlsweep -serve addr [-journal j.jsonl] [-spawn N] [-wait d] <grid flags>
+      run the HTTP ingest coordinator (schema-versioned API: POST /v1/cells,
+      GET /v1/pending, GET /v1/status); workers stream to it with
+      `+"`bmlsim -sweep -sink http://addr`"+`. With -spawn, workers are launched
+      locally and pending cells are automatically re-dispatched when a
+      worker dies. Exits when the grid completes.
+  bmlsweep -resume j.jsonl [-spawn N] <grid flags>
+      load a journal, compute the missing cell set against the
+      re-enumerated grid, re-dispatch only those cells, merge, report.
+
+Exit codes:
+  %d  grid complete: every expected cell merged and validated
+  %d  grid incomplete: missing or failed cells, -wait timeout, interrupt
+  %d  usage or I/O error: bad flags, unreadable inputs, bind failure
+
+Flags:
+`, exitComplete, exitIncomplete, exitUsage)
+	flag.PrintDefaults()
+}
+
+// printMergeDiagnostics names every cell that keeps a merge from
+// completing.
+func printMergeDiagnostics(stats sim.MergeStats) {
+	for _, id := range stats.Missing {
+		log.Printf("missing cell: %s", id)
+	}
+	for _, id := range stats.Failed {
+		log.Printf("failed cell: %s", id)
+	}
+	for _, id := range stats.Unknown {
+		log.Printf("foreign record (not in this grid): %s", id)
+	}
+}
+
+// render writes the merged grid report and returns the exit code.
+func render(cells []sim.CellRecord, csv bool) int {
+	var err error
+	if csv {
 		err = report.SweepCSV(os.Stdout, cells)
 	} else {
 		err = report.SweepTable(os.Stdout, cells)
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitUsage
 	}
+	return exitComplete
 }
 
 // buildTrace mirrors bmlsim's trace construction so coordinator and
 // workers enumerate the same grid from the same flags.
-func buildTrace(traceFile string, days int, peak float64, seed int64, quantize int) *trace.Trace {
+func buildTrace(grid gridFlags) *trace.Trace {
 	var tr *trace.Trace
 	var err error
-	if traceFile != "" {
-		f, ferr := os.Open(traceFile)
+	if grid.traceFile != "" {
+		f, ferr := os.Open(grid.traceFile)
 		if ferr != nil {
-			log.Fatal(ferr)
+			die(exitUsage, "%v", ferr)
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 	} else {
 		cfg := trace.DefaultWorldCupConfig()
-		cfg.Days = days
-		cfg.PeakRate = peak
-		cfg.Seed = seed
+		cfg.Days = grid.days
+		cfg.PeakRate = grid.peak
+		cfg.Seed = grid.seed
 		tr, err = trace.GenerateWorldCup(cfg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		die(exitUsage, "%v", err)
 	}
-	if quantize < 0 {
-		log.Fatalf("invalid -quantize %d", quantize)
+	if grid.quantize < 0 {
+		die(exitUsage, "invalid -quantize %d", grid.quantize)
 	}
-	if quantize > 0 {
-		if tr, err = tr.Quantize(quantize); err != nil {
-			log.Fatal(err)
+	if grid.quantize > 0 {
+		if tr, err = tr.Quantize(grid.quantize); err != nil {
+			die(exitUsage, "%v", err)
 		}
 	}
 	return tr
 }
 
 // spawnWorkers runs one `bmlsim -sweep -shard i/N` process per shard
-// concurrently, streaming each shard to its own JSONL file, and returns
-// the output files. Worker failures are fatal only after every worker has
-// finished, so the merge diagnostics below still name the missing cells.
-func spawnWorkers(n int, bin, dir, traceFile string, days int, peak float64, seed int64, quantize int, fleets string) []string {
+// concurrently, appending extra to each worker's arguments (e.g. a -sink
+// URL or an -only pending file). With withOut, each shard streams to its
+// own JSONL file in dir and the files are returned; without it the
+// workers' sinks (extra) carry the records and the result is nil. Worker
+// failures are logged, never fatal: the merge diagnostics downstream name
+// exactly which cells are missing.
+func spawnWorkers(n int, bin, dir string, grid gridFlags, extra []string, withOut bool) []string {
 	if bin == "" {
 		bin = findWorkerBinary()
 	}
-	if dir == "" {
+	if withOut && dir == "" {
 		d, err := os.MkdirTemp("", "bmlsweep")
 		if err != nil {
-			log.Fatal(err)
+			die(exitUsage, "%v", err)
 		}
 		dir = d
 	}
-	args := []string{"-sweep", "-fleets", fleets}
-	if traceFile != "" {
-		args = append(args, "-trace", traceFile)
-	} else {
-		args = append(args,
-			"-days", fmt.Sprint(days),
-			"-peak", fmt.Sprint(peak),
-			"-seed", fmt.Sprint(seed))
-	}
-	if quantize > 0 {
-		args = append(args, "-quantize", fmt.Sprint(quantize))
-	}
+	args := append(grid.workerArgs(), extra...)
 
-	files := make([]string, n)
+	var files []string
+	if withOut {
+		files = make([]string, n)
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		files[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
 		workerArgs := append(append([]string{}, args...),
-			"-shard", fmt.Sprintf("%d/%d", i, n), "-out", files[i])
+			"-shard", fmt.Sprintf("%d/%d", i, n))
+		if withOut {
+			files[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+			workerArgs = append(workerArgs, "-out", files[i])
+		}
 		wg.Add(1)
 		go func(i int, argv []string) {
 			defer wg.Done()
@@ -223,7 +360,11 @@ func spawnWorkers(n int, bin, dir, traceFile string, days int, peak float64, see
 	if failed > 0 {
 		log.Printf("%d of %d workers failed; merging what was streamed", failed, n)
 	}
-	log.Printf("spawned %d workers (%s), outputs in %s", n, bin, dir)
+	if withOut {
+		log.Printf("spawned %d workers (%s), outputs in %s", n, bin, dir)
+	} else {
+		log.Printf("spawned %d workers (%s)", n, bin)
+	}
 	return files
 }
 
@@ -237,4 +378,22 @@ func findWorkerBinary() string {
 		}
 	}
 	return "bmlsim"
+}
+
+// writePendingFile persists canonical cell IDs, one per line — the -only
+// input for re-dispatched workers.
+func writePendingFile(ids []string) string {
+	f, err := os.CreateTemp("", "bmlsweep-pending-*.txt")
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
+	for _, id := range ids {
+		if _, err := fmt.Fprintln(f, id); err != nil {
+			die(exitUsage, "%v", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		die(exitUsage, "%v", err)
+	}
+	return f.Name()
 }

@@ -1,0 +1,245 @@
+package main
+
+// The network coordinator (-serve) and journal resume (-resume) modes.
+//
+// -serve runs internal/sim's Ingest handler on a TCP listener: workers on
+// any host stream completed cells to POST /v1/cells (bmlsim -sink URL),
+// and every state-changing record is appended to the -journal JSONL file
+// before it is acknowledged. The pending set is always derivable as a set
+// difference — re-enumerated grid minus journaled successes — which is
+// what makes the whole construction resumable: restart the coordinator
+// with the same -journal and it primes itself from disk; or run
+// `bmlsweep -resume j.jsonl` to re-dispatch only the missing cells to
+// fresh local workers.
+//
+// With -spawn N the coordinator also launches the workers itself (each
+// told -sink back to the coordinator), and when they exit with cells
+// still pending — a crashed or killed worker — it re-dispatches just the
+// pending set (-redispatch rounds) before giving up with exit 1.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// openJournal reads any records already in the journal (resuming an
+// interrupted run) and opens it for appending. A truncated final line — a
+// coordinator killed mid-append, the very failure the journal recovers
+// from — is dropped with a warning; the half-written cell simply stays
+// pending and is re-dispatched.
+func openJournal(path string) (primed []sim.CellRecord, w io.Writer, closeFn func()) {
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var truncated bool
+		if primed, truncated, err = sim.ReadJournal(bytes.NewReader(raw)); err != nil {
+			die(exitUsage, "journal %s: %v", path, err)
+		}
+		if truncated {
+			log.Printf("journal %s: dropped a truncated final line (killed mid-append); its cell stays pending", path)
+			// Rewrite the valid prefix before appending: a new record
+			// written after the partial tail would concatenate onto it and
+			// corrupt the journal for the NEXT resume.
+			repair := path + ".repair"
+			tf, err := os.Create(repair)
+			if err != nil {
+				die(exitUsage, "%v", err)
+			}
+			for _, rec := range primed {
+				if err := sim.WriteCellRecord(tf, rec); err != nil {
+					die(exitUsage, "journal repair: %v", err)
+				}
+			}
+			if err := tf.Close(); err != nil {
+				die(exitUsage, "journal repair: %v", err)
+			}
+			if err := os.Rename(repair, path); err != nil {
+				die(exitUsage, "journal repair: %v", err)
+			}
+		}
+	case !os.IsNotExist(err):
+		die(exitUsage, "%v", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
+	return primed, f, func() { f.Close() }
+}
+
+// runServe is the -serve mode: ingest streamed cells until the grid
+// completes (exit 0), the -wait budget elapses, a signal arrives, or
+// spawned workers finish with cells still pending after all re-dispatch
+// rounds (exit 1).
+func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, bin, dir string, grid gridFlags, wait time.Duration, redispatch int, csv bool) int {
+	var journalW io.Writer
+	var primed []sim.CellRecord
+	if journalPath != "" {
+		var closeJournal func()
+		primed, journalW, closeJournal = openJournal(journalPath)
+		defer closeJournal()
+	}
+	ing := sim.NewIngest(jobs, journalW)
+	if len(primed) > 0 {
+		n := ing.Prime(primed)
+		log.Printf("journal %s: resumed %d records covering %d cells", journalPath, len(primed), n)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	log.Printf("ingest listening on http://%s (POST /v1/cells, GET /v1/pending, GET /v1/status)", ln.Addr())
+	srv := &http.Server{Handler: ing}
+	go srv.Serve(ln)
+	defer srv.Close()
+	sinkURL := "http://" + ln.Addr().String()
+
+	// With -spawn, launch the workers against our own ingest endpoint and
+	// re-dispatch the pending set when they die mid-grid. A journal that
+	// already covers the grid means there is nothing to run: spawning
+	// would orphan workers re-simulating whole shards only to POST to a
+	// coordinator that exited the moment the select loop saw Done.
+	var workersDone chan struct{}
+	if spawnN > 0 && ing.Status().Complete {
+		log.Printf("journal already covers the grid; not spawning workers")
+		spawnN = 0
+	}
+	if spawnN > 0 {
+		workersDone = make(chan struct{})
+		go func() {
+			defer close(workersDone)
+			spawnWorkers(spawnN, bin, dir, grid, []string{"-sink", sinkURL}, false)
+			for round := 1; round <= redispatch; round++ {
+				pending := ing.Pending()
+				if len(pending) == 0 {
+					return
+				}
+				log.Printf("re-dispatch round %d/%d: %d pending cells", round, redispatch, len(pending))
+				pf := writePendingFile(pending)
+				spawnWorkers(1, bin, "", grid, []string{"-sink", sinkURL, "-only", pf}, false)
+				os.Remove(pf)
+			}
+		}()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if wait > 0 {
+		timeout = time.After(wait)
+	}
+	progress := time.NewTicker(10 * time.Second)
+	defer progress.Stop()
+
+	for {
+		select {
+		case <-ing.Done():
+			// Drain gracefully before reporting: the POST that completed
+			// the grid may still be writing its acknowledgement, and
+			// tearing the listener down under it would make the finishing
+			// worker see a spurious connection error and retry against a
+			// dead port.
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			srv.Shutdown(shutdownCtx)
+			cancel()
+			return finishServe(ing, jobs, csv)
+		case <-workersDone:
+			// Both channels may be ready; prefer the completion path.
+			if ing.Status().Complete {
+				workersDone = nil
+				continue
+			}
+			log.Printf("spawned workers exited with the grid incomplete")
+			report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+			return exitIncomplete
+		case <-timeout:
+			log.Printf("-wait %v elapsed with the grid incomplete", wait)
+			report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+			return exitIncomplete
+		case s := <-sigCh:
+			log.Printf("received %v with the grid incomplete; journal preserved for -resume", s)
+			report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+			return exitIncomplete
+		case <-progress.C:
+			st := ing.Status()
+			log.Printf("progress: %d/%d cells received (%d pending)", st.Received, st.Total, st.Pending)
+		}
+	}
+}
+
+// finishServe merges the received records and renders the report.
+func finishServe(ing *sim.Ingest, jobs []sim.SweepJob, csv bool) int {
+	cells, stats, err := sim.MergeCells(jobs, ing.Records())
+	if err != nil {
+		printMergeDiagnostics(stats)
+		log.Print(err)
+		return exitIncomplete
+	}
+	log.Printf("grid complete: %d cells merged and validated (%d duplicates deduplicated)",
+		len(cells), stats.Duplicates)
+	return render(cells, csv)
+}
+
+// runResume is the -resume mode: prime the pending set from the journal,
+// re-dispatch only the missing cells to local workers (appending their
+// records back to the journal, so repeated resumes converge), then merge
+// and report.
+func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir string, grid gridFlags, csv bool) int {
+	primed, journalW, closeJournal := openJournal(journalPath)
+	defer closeJournal()
+	ing := sim.NewIngest(jobs, journalW)
+	ing.Prime(primed)
+	st := ing.Status()
+	log.Printf("journal %s: %d records cover %d/%d cells", journalPath, len(primed), st.Received, st.Total)
+
+	if pending := ing.Pending(); len(pending) > 0 {
+		if spawnN <= 0 {
+			spawnN = 1
+		}
+		log.Printf("re-dispatching %d pending cells to %d workers", len(pending), spawnN)
+		pf := writePendingFile(pending)
+		defer os.Remove(pf)
+		files := spawnWorkers(spawnN, bin, dir, grid, []string{"-only", pf}, true)
+		for _, name := range files {
+			f, err := os.Open(name)
+			if err != nil {
+				log.Printf("skipping %v", err)
+				continue
+			}
+			recs, err := sim.ReadCellRecords(f)
+			f.Close()
+			if err != nil {
+				log.Printf("skipping %s: %v", name, err)
+				continue
+			}
+			for _, rec := range recs {
+				if err := ing.Add(rec); err != nil {
+					die(exitUsage, "journal append: %v", err)
+				}
+			}
+		}
+	}
+
+	cells, stats, err := sim.MergeCells(jobs, ing.Records())
+	if err != nil {
+		printMergeDiagnostics(stats)
+		log.Print(err)
+		return exitIncomplete
+	}
+	log.Printf("resume complete: %d cells merged and validated (%d duplicates deduplicated)",
+		len(cells), stats.Duplicates)
+	return render(cells, csv)
+}

@@ -5,11 +5,22 @@ package repro_test
 // are the same invocations EXPERIMENTS.md lists.
 
 import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // buildCmds compiles the command binaries into a shared temp dir once.
@@ -263,6 +274,319 @@ func TestCmdBMLSweepSpawnWorkerFailureNamesMissingCells(t *testing.T) {
 			t.Errorf("partial-failure diagnostics missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// runCmdExit runs a command asserting its exact exit code — the bmlsweep
+// contract (0 complete, 1 incomplete, 2 usage/IO) is scriptable interface,
+// so "any non-zero" is not precise enough.
+func runCmdExit(t *testing.T, wantCode int, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(cmdBinary(t, name), args...).CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantCode {
+		t.Fatalf("%s %v exited %d, want %d:\n%s", name, args, code, wantCode, out)
+	}
+	return string(out)
+}
+
+// TestCmdBMLSweepExitCodeContract pins the documented exit codes so CI
+// jobs can branch on them.
+func TestCmdBMLSweepExitCodeContract(t *testing.T) {
+	// The contract is printed by -h (exit 0).
+	help := runCmdExit(t, 0, "bmlsweep", "-h")
+	for _, want := range []string{
+		"Exit codes:",
+		"0  grid complete",
+		"1  grid incomplete",
+		"2  usage or I/O error",
+	} {
+		if !strings.Contains(help, want) {
+			t.Errorf("-h output missing %q:\n%s", want, help)
+		}
+	}
+
+	// Usage errors exit 2.
+	runCmdExit(t, 2, "bmlsweep")
+	runCmdExit(t, 2, "bmlsweep", "-nonsense")
+	runCmdExit(t, 2, "bmlsweep", "-journal", "j.jsonl", "-spawn", "1")
+	runCmdExit(t, 2, "bmlsweep", "-resume", "x.jsonl", "-serve", "127.0.0.1:0")
+	runCmdExit(t, 2, "bmlsweep", "-wait", "1s", "-spawn", "1")
+	// Unreadable input is I/O: exit 2.
+	runCmdExit(t, 2, "bmlsweep", append(append([]string{}, sweepGridArgs...),
+		filepath.Join(t.TempDir(), "missing.jsonl"))...)
+
+	// An incomplete grid exits 1: one shard's records cannot cover both.
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "s0.jsonl")
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "0/2", "-out", s0}, sweepGridArgs...)...)
+	out := runCmdExit(t, 1, "bmlsweep", append(append([]string{}, sweepGridArgs...), s0)...)
+	if !strings.Contains(out, "missing cell") {
+		t.Errorf("incomplete merge diagnostics missing:\n%s", out)
+	}
+
+	// A complete merge exits 0.
+	s1 := filepath.Join(dir, "s1.jsonl")
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "1/2", "-out", s1}, sweepGridArgs...)...)
+	runCmdExit(t, 0, "bmlsweep", append(append([]string{}, sweepGridArgs...), s0, s1)...)
+}
+
+func TestCmdBMLSimNetworkFlagsRequireSweep(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sink", "http://127.0.0.1:1"},
+		{"-only", "pending.txt"},
+		{"-die-after", "1"},
+	} {
+		out := runCmdErr(t, "bmlsim", args...)
+		if !strings.Contains(out, "requires -sweep") {
+			t.Errorf("bmlsim %v: missing requires-sweep rejection:\n%s", args, out)
+		}
+	}
+	// A malformed sink URL dies before any simulation work.
+	out := runCmdErr(t, "bmlsim", "-sweep", "-sink", "not-a-url", "-days", "1")
+	if !strings.Contains(out, "sink URL") {
+		t.Errorf("bad sink URL not rejected up front:\n%s", out)
+	}
+}
+
+// cmdTestGrid re-enumerates, in-process, exactly the grid the cmd-level
+// sweep tests run via sweepGridArgs (1 generated day, default peak/seed,
+// 10-minute plateaus, fleets 0,50) — what lets the network e2e test
+// compare binaries against sim.Sweep.
+func cmdTestGrid(t *testing.T) []sim.SweepJob {
+	t.Helper()
+	cfg := trace.DefaultWorldCupConfig()
+	cfg.Days = 1
+	tr, err := trace.GenerateWorldCup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr, err = tr.Quantize(600); err != nil {
+		t.Fatal(err)
+	}
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := sim.FleetGrid(tr, planner, sim.BMLConfig{}, []int{0, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestCmdSweepServeKillResume is the end-to-end acceptance path with real
+// processes: a bmlsweep ingest coordinator, one worker killed mid-grid by
+// fault injection, a second worker completing its shard, a re-dispatch of
+// exactly the coordinator's pending set, and the final report — asserting
+// the journal-merged grid is cell-for-cell equal to an in-process
+// sim.Sweep (≤1e-6 J, exact counters) and the serve process honors the
+// exit-code contract.
+func TestCmdSweepServeKillResume(t *testing.T) {
+	jobs := cmdTestGrid(t)
+	single := sim.Sweep(jobs, 0)
+	want := make(map[string]sim.CellRecord, len(single))
+	for _, r := range single {
+		if r.Err != nil {
+			t.Fatalf("in-process sweep cell %s: %v", r.Job.Name, r.Err)
+		}
+		rec := sim.NewCellRecord(r)
+		want[rec.ID] = rec
+	}
+	// Kill the worker whose shard holds >= 2 cells, so death is mid-shard.
+	killShard := "0/2"
+	if s0, err := sim.ShardJobs(jobs, sim.ShardSpec{Index: 0, Count: 2}); err != nil {
+		t.Fatal(err)
+	} else if len(s0) < 2 {
+		killShard = "1/2"
+	}
+	otherShard := map[string]string{"0/2": "1/2", "1/2": "0/2"}[killShard]
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.jsonl")
+	serve := exec.Command(cmdBinary(t, "bmlsweep"),
+		append([]string{"-serve", "127.0.0.1:0", "-journal", journal, "-wait", "120s"}, sweepGridArgs...)...)
+	stderr, err := serve.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serveOut strings.Builder
+	serve.Stdout = &serveOut
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve.Process.Kill()
+
+	// The coordinator logs its bound address (port 0 = ephemeral).
+	var baseURL string
+	var serveLog strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		serveLog.WriteString(line + "\n")
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			baseURL = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("coordinator never announced its address:\n%s", serveLog.String())
+	}
+	// Keep draining stderr so the coordinator never blocks on the pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	// Worker A dies after one cell (exit 3, the fault-injection code);
+	// its completed cell is already durable on the coordinator.
+	out, err := exec.Command(cmdBinary(t, "bmlsim"),
+		append([]string{"-sweep", "-shard", killShard, "-sink", baseURL, "-die-after", "1"}, sweepGridArgs...)...).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("fault-injected worker: err %v, want exit 3:\n%s", err, out)
+	}
+	// Worker B completes its shard.
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", otherShard, "-sink", baseURL}, sweepGridArgs...)...)
+
+	// The grid is incomplete; /v1/pending names the dead worker's cells.
+	resp, err := http.Get(baseURL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := readBody(t, resp)
+	if !strings.Contains(status, `"complete":false`) {
+		t.Fatalf("status after kill should be incomplete: %s", status)
+	}
+	resp, err = http.Get(baseURL + "/v1/pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendingTxt := readBody(t, resp)
+	pendingIDs := strings.Fields(pendingTxt)
+	if len(pendingIDs) == 0 {
+		t.Fatal("pending set empty after killed worker")
+	}
+	pendingFile := filepath.Join(dir, "pending.txt")
+	if err := os.WriteFile(pendingFile, []byte(pendingTxt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: re-dispatch exactly the pending cells.
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-only", pendingFile, "-sink", baseURL}, sweepGridArgs...)...)
+
+	// The coordinator sees the grid complete and exits 0 with the report.
+	done := make(chan error, 1)
+	go func() { done <- serve.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v (want 0):\n%s", err, serveLog.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator did not exit after the grid completed")
+	}
+	if !strings.Contains(serveOut.String(), fmt.Sprintf("%d cells", len(jobs))) {
+		t.Errorf("serve report missing the full grid:\n%s", serveOut.String())
+	}
+
+	// Differential: the journal's records, merged, equal the in-process
+	// sweep cell-for-cell.
+	jf, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := sim.ReadCellRecords(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, stats, err := sim.MergeCells(jobs, records)
+	if err != nil {
+		t.Fatalf("journal merge: %v (stats %+v)", err, stats)
+	}
+	for _, got := range merged {
+		w, ok := want[got.ID]
+		if !ok {
+			t.Fatalf("journal cell %s not in the in-process grid", got.ID)
+		}
+		if math.Abs(got.TotalJ-w.TotalJ) > 1e-6 {
+			t.Errorf("%s: TotalJ %v vs %v", got.ID, got.TotalJ, w.TotalJ)
+		}
+		if got.Decisions != w.Decisions || got.SwitchOns != w.SwitchOns || got.SwitchOffs != w.SwitchOffs {
+			t.Errorf("%s: counters (%d,%d,%d) vs (%d,%d,%d)", got.ID,
+				got.Decisions, got.SwitchOns, got.SwitchOffs, w.Decisions, w.SwitchOns, w.SwitchOffs)
+		}
+	}
+
+	// A journal-only resume is now a no-op merge: exit 0, full report,
+	// nothing re-dispatched.
+	out2 := runCmdExit(t, 0, "bmlsweep", append([]string{"-resume", journal}, sweepGridArgs...)...)
+	if !strings.Contains(out2, fmt.Sprintf("%d cells", len(jobs))) || strings.Contains(out2, "re-dispatching") {
+		t.Errorf("journal-only resume wrong:\n%s", out2)
+	}
+}
+
+// TestCmdBMLSweepResumeRepairsTruncatedJournal covers the coordinator
+// dying mid-append: the partial final line is dropped and repaired, its
+// cell is re-dispatched, and the journal converges to a complete,
+// parsable record set.
+func TestCmdBMLSweepResumeRepairsTruncatedJournal(t *testing.T) {
+	dir := t.TempDir()
+	all := filepath.Join(dir, "all.jsonl")
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-out", all}, sweepGridArgs...)...)
+	raw, err := os.ReadFile(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep three complete records plus half of the fourth line — what a
+	// kill mid-write leaves behind.
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("worker streamed %d lines, want >= 5", len(lines))
+	}
+	partial := strings.Join(lines[:3], "") + lines[3][:len(lines[3])/2]
+	journal := filepath.Join(dir, "journal.jsonl")
+	if err := os.WriteFile(journal, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCmdExit(t, 0, "bmlsweep", append([]string{
+		"-resume", journal, "-bin", cmdBinary(t, "bmlsim")}, sweepGridArgs...)...)
+	for _, want := range []string{"truncated final line", "re-dispatching", "8 cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resume output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The repaired journal parses strictly and covers the grid.
+	jf, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := sim.ReadCellRecords(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatalf("repaired journal unparsable: %v", err)
+	}
+	if _, stats, err := sim.MergeCells(cmdTestGrid(t), records); err != nil {
+		t.Fatalf("repaired journal incomplete: %v (stats %+v)", err, stats)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 func TestCmdBMLSimAblationFlags(t *testing.T) {

@@ -41,6 +41,29 @@ func SweepTable(w io.Writer, cells []sim.CellRecord) error {
 	return err
 }
 
+// SweepStatus renders coordinator progress — the ingest server's snapshot
+// plus the first few outstanding canonical cell IDs — as the operator-
+// facing view of a networked sweep (bmlsweep -serve progress lines, and
+// the diagnostics printed when a run ends incomplete).
+func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
+	_, err := fmt.Fprintf(w, "sweep: %d/%d cells received (%d pending, %d failed, %d duplicates, %d foreign)\n",
+		st.Received, st.Total, st.Pending, st.Failed, st.Duplicates, st.Unknown)
+	if err != nil {
+		return err
+	}
+	const show = 10
+	for i, id := range pending {
+		if i == show {
+			_, err = fmt.Fprintf(w, "  ... and %d more pending cells\n", len(pending)-show)
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "  pending: %s\n", id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SweepCSV writes merged sweep cells as a machine-readable series, one row
 // per cell in grid order.
 func SweepCSV(w io.Writer, cells []sim.CellRecord) error {

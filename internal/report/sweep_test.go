@@ -51,3 +51,31 @@ func TestSweepCSV(t *testing.T) {
 		t.Errorf("row = %s", lines[2])
 	}
 }
+
+func TestSweepStatus(t *testing.T) {
+	pending := make([]string, 14)
+	for i := range pending {
+		pending[i] = "bml|cell" + string(rune('a'+i)) + "|fleet=1|trace=0:1"
+	}
+	st := sim.IngestStatus{Total: 20, Received: 6, Pending: 14, Failed: 2, Duplicates: 3, Unknown: 1}
+	var sb strings.Builder
+	if err := SweepStatus(&sb, st, pending); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"6/20 cells received",
+		"14 pending, 2 failed, 3 duplicates, 1 foreign",
+		"pending: " + pending[0],
+		"pending: " + pending[9],
+		"... and 4 more pending cells",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status missing %q:\n%s", want, out)
+		}
+	}
+	// The truncated tail is not printed.
+	if strings.Contains(out, pending[10]) {
+		t.Errorf("status printed past the truncation point:\n%s", out)
+	}
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// This file is the coordinator half of networked sweeps: Ingest is an
+// http.Handler that accepts streamed cell records from any number of
+// workers, journals every state-changing record to an append-only JSONL
+// file (the same schema as worker -out files, so the journal is itself a
+// mergeable record set), and tracks the pending set — the canonical cell
+// IDs of the expected grid that no successful record has covered yet.
+// Because cell IDs are pure functions of the grid, resumable coordination
+// is a set difference: re-read the journal, re-enumerate the grid, and
+// re-dispatch only the missing cells.
+//
+// The HTTP surface is schema-versioned under /v1/:
+//
+//	POST /v1/cells   JSONL CellRecords (same lines a -out file holds)
+//	GET  /v1/pending outstanding canonical cell IDs, one per line
+//	GET  /v1/status  IngestStatus as JSON
+//
+// Dedup mirrors MergeCells exactly: the first successful record for a cell
+// wins (later re-runs with different wall times are counted as duplicates
+// and dropped), and a successful record replaces a failed one.
+
+// IngestStatus is the coordinator's progress snapshot (GET /v1/status).
+type IngestStatus struct {
+	Total      int  `json:"total"`      // cells in the expected grid
+	Received   int  `json:"received"`   // cells with a successful record
+	Pending    int  `json:"pending"`    // Total - Received
+	Failed     int  `json:"failed"`     // cells whose only records carry errors (still pending)
+	Duplicates int  `json:"duplicates"` // records dropped by first-success-wins dedup
+	Unknown    int  `json:"unknown"`    // records foreign to the expected grid
+	Complete   bool `json:"complete"`   // Pending == 0
+}
+
+// IngestResponse acknowledges one POST /v1/cells batch.
+type IngestResponse struct {
+	Accepted     int    `json:"accepted"`   // records that changed coordinator state
+	Duplicates   int    `json:"duplicates"` // records dropped as re-runs
+	Unknown      int    `json:"unknown"`    // records foreign to the grid
+	FirstUnknown string `json:"first_unknown,omitempty"`
+	Pending      int    `json:"pending"` // cells still outstanding after this batch
+	Complete     bool   `json:"complete"`
+}
+
+// Ingest tracks one expected grid against the records workers stream in.
+// Safe for concurrent use; implements http.Handler.
+type Ingest struct {
+	mu       sync.Mutex
+	order    []string // expected cell IDs in grid order
+	want     map[string]bool
+	got      map[string]CellRecord // best record per expected cell
+	received int                   // cells with a successful record (incremental: POST accounting stays O(batch), not O(grid))
+	failed   int                   // cells whose only records carry errors
+	dups     int
+	unknown  int
+	journal  io.Writer
+	done     chan struct{}
+	closed   bool
+}
+
+// NewIngest builds a coordinator for the expected grid. When journal is
+// non-nil, every record that changes state (first record for a cell, or a
+// success replacing a failure) is appended to it as one JSON line before
+// it is acknowledged, so a coordinator killed mid-run can resume from the
+// journal alone; when the journal also implements Sync() error (an
+// *os.File), each acknowledged batch is synced first and Done only fires
+// once the completing records are durable. Duplicates are acknowledged but
+// not journaled — replaying a journal therefore reproduces the
+// coordinator's state exactly.
+func NewIngest(expected []SweepJob, journal io.Writer) *Ingest {
+	ids := CellIDs(expected)
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	return &Ingest{
+		order:   ids,
+		want:    want,
+		got:     make(map[string]CellRecord, len(ids)),
+		journal: journal,
+		done:    make(chan struct{}),
+	}
+}
+
+// Prime seeds records already persisted (a journal read back on resume)
+// without re-journaling them, and returns how many cells the seed
+// completed. Foreign and duplicate records in the seed are accounted the
+// same way live ones are.
+func (g *Ingest) Prime(recs []CellRecord) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	before := g.received
+	for _, rec := range recs {
+		g.addLocked(rec, nil)
+	}
+	g.checkCompleteLocked()
+	return g.received - before
+}
+
+// addLocked folds one record into the state. When the record changes state
+// and journalErr is non-nil, it is journaled first; a journal write error
+// is reported through *journalErr and the record is NOT folded in, so the
+// client retries and no acknowledged record is ever missing from the
+// journal. Returns accepted (state changed), duplicate, unknown.
+func (g *Ingest) addLocked(rec CellRecord, journalErr *error) (accepted, duplicate, unknown bool) {
+	if !g.want[rec.ID] {
+		g.unknown++
+		return false, false, true
+	}
+	prev, seen := g.got[rec.ID]
+	if seen && !(prev.Err != "" && rec.Err == "") {
+		// First success wins; a failure never replaces anything.
+		g.dups++
+		return false, true, false
+	}
+	if journalErr != nil && g.journal != nil {
+		if err := WriteCellRecord(g.journal, rec); err != nil {
+			*journalErr = err
+			return false, false, false
+		}
+	}
+	switch {
+	case rec.Err == "":
+		g.received++
+		if seen { // success replacing a failure
+			g.failed--
+		}
+	case !seen:
+		g.failed++
+	}
+	g.got[rec.ID] = rec
+	return true, false, false
+}
+
+func (g *Ingest) checkCompleteLocked() {
+	if !g.closed && g.received == len(g.order) {
+		g.closed = true
+		close(g.done)
+	}
+}
+
+// Add folds one record into the state exactly as a POSTed one — journaled
+// when it changes state — for coordinators that receive records outside
+// HTTP (e.g. bmlsweep -resume reading re-dispatched workers' files). The
+// returned error is a journal write failure; the record is not folded in
+// when journaling fails.
+func (g *Ingest) Add(rec CellRecord) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var jerr error
+	g.addLocked(rec, &jerr)
+	if jerr == nil {
+		g.checkCompleteLocked()
+	}
+	return jerr
+}
+
+// Done is closed once every expected cell has a successful record.
+func (g *Ingest) Done() <-chan struct{} { return g.done }
+
+// Pending returns the canonical IDs of expected cells that still lack a
+// successful record, in grid order — exactly what a re-dispatched worker
+// should run (bmlsim -sweep -only).
+func (g *Ingest) Pending() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	for _, id := range g.order {
+		if rec, ok := g.got[id]; !ok || rec.Err != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Status returns the progress snapshot.
+func (g *Ingest) Status() IngestStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := IngestStatus{
+		Total:      len(g.order),
+		Received:   g.received,
+		Failed:     g.failed,
+		Duplicates: g.dups,
+		Unknown:    g.unknown,
+	}
+	st.Pending = st.Total - st.Received
+	st.Complete = st.Pending == 0
+	return st
+}
+
+// Records returns the best record of every covered cell in grid order —
+// the input MergeCells validates for the final report.
+func (g *Ingest) Records() []CellRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]CellRecord, 0, len(g.got))
+	for _, id := range g.order {
+		if rec, ok := g.got[id]; ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// ServeHTTP routes the /v1/ ingest API.
+func (g *Ingest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/cells":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST JSONL cell records to /v1/cells", http.StatusMethodNotAllowed)
+			return
+		}
+		g.handleCells(w, r)
+	case "/v1/pending":
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET /v1/pending", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, id := range g.Pending() {
+			fmt.Fprintln(w, id)
+		}
+	case "/v1/status":
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET /v1/status", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(g.Status())
+	default:
+		http.Error(w, "unknown path (this ingest API is schema-versioned: POST /v1/cells, GET /v1/pending, GET /v1/status)",
+			http.StatusNotFound)
+	}
+}
+
+// handleCells folds one POSTed JSONL batch into the coordinator state.
+func (g *Ingest) handleCells(w http.ResponseWriter, r *http.Request) {
+	recs, err := ReadCellRecords(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad cell batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	var resp IngestResponse
+	g.mu.Lock()
+	var journalFailure error
+	for _, rec := range recs {
+		accepted, duplicate, unknown := g.addLocked(rec, &journalFailure)
+		if journalFailure != nil {
+			break
+		}
+		switch {
+		case accepted:
+			resp.Accepted++
+		case duplicate:
+			resp.Duplicates++
+		case unknown:
+			resp.Unknown++
+			if resp.FirstUnknown == "" {
+				resp.FirstUnknown = rec.ID
+			}
+		}
+	}
+	if journalFailure == nil {
+		// Sync unconditionally, not just when this batch accepted records:
+		// a retried batch whose first attempt folded records but failed to
+		// sync dedups to Accepted == 0, and must still not be acknowledged
+		// until a sync succeeds — otherwise "journaled before acknowledged"
+		// quietly degrades to "buffered in the page cache".
+		if f, ok := g.journal.(interface{ Sync() error }); ok {
+			journalFailure = f.Sync()
+		}
+	}
+	if journalFailure == nil {
+		// Done (and therefore coordinator exit) only fires once the
+		// completing records are durable.
+		g.checkCompleteLocked()
+	}
+	resp.Pending = len(g.order) - g.received
+	resp.Complete = resp.Pending == 0
+	g.mu.Unlock()
+	if journalFailure != nil {
+		// 5xx: the client retries the whole batch; already-folded records
+		// of this batch will dedup.
+		http.Error(w, fmt.Sprintf("journal write failed: %v", journalFailure), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -286,6 +286,96 @@ func TestMergeDetectsIncompleteAndForeign(t *testing.T) {
 	}
 }
 
+// TestMergeCellsDuplicateSuccessKeepsFirst pins the canonical dedup
+// ordering: when the same cell succeeds twice (a re-run whose wall time —
+// an environmental measurement, not part of the cell's identity —
+// differs), the first success in input order wins, so the merged grid is
+// deterministic no matter how many times shards were retried.
+func TestMergeCellsDuplicateSuccessKeepsFirst(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []CellRecord
+	err = SweepStream(jobs, 0, func(r SweepResult) error {
+		records = append(records, NewCellRecord(r))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rerun := records[0]
+	rerun.WallMS = records[0].WallMS + 12345 // same cell, different environment
+	withRerun := append(append([]CellRecord{}, records...), rerun)
+	merged, stats, err := MergeCells(jobs, withRerun)
+	if err != nil {
+		t.Fatalf("merge: %v (stats %+v)", err, stats)
+	}
+	if stats.Duplicates != 1 {
+		t.Errorf("stats.Duplicates = %d, want 1", stats.Duplicates)
+	}
+	for _, rec := range merged {
+		if rec.ID == records[0].ID && rec.WallMS != records[0].WallMS {
+			t.Errorf("later duplicate success replaced the first: wall %v, want %v",
+				rec.WallMS, records[0].WallMS)
+		}
+	}
+
+	// Ordering is canonical, not luck: reversing so the re-run comes first
+	// makes the re-run the winner.
+	reversed := append([]CellRecord{rerun}, records...)
+	merged, _, err = MergeCells(jobs, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range merged {
+		if rec.ID == rerun.ID && rec.WallMS != rerun.WallMS {
+			t.Errorf("first-in-input success did not win: wall %v, want %v", rec.WallMS, rerun.WallMS)
+		}
+	}
+}
+
+// TestParseFleetsCanonicalization pins the documented normalization:
+// whitespace is trimmed, duplicates collapse, and the result is sorted
+// ascending — so every ordering of the same targets enumerates the same
+// canonical grid (and therefore the same cell IDs and shard assignment).
+func TestParseFleetsCanonicalization(t *testing.T) {
+	cases := map[string][]int{
+		"":                     {0},
+		"   ":                  {0},
+		"0":                    {0},
+		"1000,100,0":           {0, 100, 1000},
+		" 100 ,\t0 , 100":      {0, 100},
+		"50,50,50":             {50},
+		"0, 0 ,1000, 100 ,100": {0, 100, 1000},
+	}
+	for in, want := range cases {
+		got, err := ParseFleets(in)
+		if err != nil {
+			t.Errorf("ParseFleets(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseFleets(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("ParseFleets(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+	for _, bad := range []string{"1,,2", "x", "1,-5", ","} {
+		if _, err := ParseFleets(bad); err == nil {
+			t.Errorf("ParseFleets(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
 func TestSweepStreamEmitErrorCancels(t *testing.T) {
 	tr := shardTestTrace(t, 1)
 	planner := shardTestPlanner(t)
@@ -310,6 +400,51 @@ func TestSweepStreamEmitErrorCancels(t *testing.T) {
 	}
 	if emitted >= len(jobs) {
 		t.Errorf("emit called %d times; cancellation should stop the stream early", emitted)
+	}
+}
+
+// TestSweepStreamGracefulDrain pins ErrStopStream semantics: the stream
+// stops starting new cells but still emits every cell that was in flight
+// — the property the worker's signal handler relies on to flush computed
+// work instead of discarding it — and a real emit failure upgrades the
+// drain to a hard error.
+func TestSweepStreamGracefulDrain(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, []int{0, 5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	err = SweepStream(jobs, 1, func(SweepResult) error {
+		emitted++
+		return ErrStopStream
+	})
+	if !errors.Is(err, ErrStopStream) {
+		t.Fatalf("SweepStream error = %v, want ErrStopStream", err)
+	}
+	// Worker count 1: the stopping cell is emitted, plus at most one more
+	// the feed raced in; the rest of the grid never starts.
+	if emitted < 1 || emitted > 2 {
+		t.Errorf("emitted %d cells after graceful stop, want 1-2 of %d", emitted, len(jobs))
+	}
+
+	// A real failure after a graceful stop wins over ErrStopStream.
+	sentinel := errors.New("sink broke mid-drain")
+	calls := 0
+	err = SweepStream(jobs, 2, func(SweepResult) error {
+		calls++
+		if calls == 1 {
+			return ErrStopStream
+		}
+		return sentinel
+	})
+	if errors.Is(err, ErrStopStream) && !errors.Is(err, sentinel) {
+		// Only one cell may have been emitted before the feed stopped —
+		// then the sentinel branch never ran and ErrStopStream is correct.
+		if calls > 1 {
+			t.Errorf("real emit failure did not upgrade the drain: %v after %d emits", err, calls)
+		}
 	}
 }
 

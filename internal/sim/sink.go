@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// This file is the transport half of networked sweeps: CellSink abstracts
+// "where a completed cell goes" so SweepStream can feed a local JSONL file,
+// an HTTP ingest endpoint, or both at once, and a worker's streaming code
+// never needs to know which. HTTPSink is the client side of the bmlsweep
+// coordinator protocol (POST /v1/cells, the same JSONL CellRecord schema
+// the -out files use), with retry/backoff so a grid survives transient
+// network failures, and fail-fast on permanent rejections (a worker
+// enumerating a different grid than its coordinator).
+
+// CellSink consumes completed sweep cells. Emit is called serially (once
+// per cell, from SweepStream's serialized emit path), so implementations
+// need no locking of their own. Close flushes anything buffered and
+// releases resources; a sink must be usable until Close returns.
+type CellSink interface {
+	Emit(CellRecord) error
+	Close() error
+}
+
+// WriterSink streams each record to w as one JSON line — the -out file
+// path expressed as a CellSink. It does not own w; callers close the
+// underlying file themselves after Close returns.
+type WriterSink struct{ w io.Writer }
+
+// NewWriterSink wraps w as a CellSink.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit appends rec to the writer as one JSON line.
+func (s *WriterSink) Emit(rec CellRecord) error { return WriteCellRecord(s.w, rec) }
+
+// Close is a no-op: WriterSink buffers nothing and does not own its writer.
+func (s *WriterSink) Close() error { return nil }
+
+// MultiSink fans every record out to all member sinks in order — e.g. a
+// local JSONL file for the audit trail plus an HTTP coordinator for live
+// aggregation. The first emit error stops the fan-out (the stream will
+// cancel anyway); Close closes every member and returns the first error.
+type MultiSink []CellSink
+
+// Emit hands rec to each member sink in order.
+func (m MultiSink) Emit(rec CellRecord) error {
+	for _, s := range m {
+		if err := s.Emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes all member sinks, returning the first error.
+func (m MultiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// sinkPermanentError marks a failure retrying cannot fix: a 4xx rejection
+// or records the coordinator reports as foreign to its grid.
+type sinkPermanentError struct{ msg string }
+
+func (e *sinkPermanentError) Error() string { return e.msg }
+
+// HTTPSink streams cell records to a bmlsweep ingest endpoint. Records are
+// POSTed to <base>/v1/cells as JSON Lines — byte-identical to what a
+// worker's -out file would hold, so the coordinator accepts either
+// transport interchangeably. Transient failures (network errors, 5xx)
+// retry with exponential backoff; permanent rejections (4xx, or a 200
+// whose accounting reports the records foreign to the coordinator's grid)
+// fail immediately so a misconfigured worker dies loudly instead of
+// hammering the coordinator.
+//
+// By default every record is flushed (POSTed) as it is emitted, so a
+// worker killed mid-grid has already made each completed cell durable on
+// the coordinator — the property resumable coordination depends on.
+// WithSinkBatch trades that per-cell durability for fewer requests.
+type HTTPSink struct {
+	endpoint string
+	client   *http.Client
+	batchCap int
+	retries  int
+	backoff  time.Duration
+	sleep    func(time.Duration) // test hook
+	batch    []CellRecord
+}
+
+// SinkOption configures an HTTPSink.
+type SinkOption func(*HTTPSink)
+
+// WithSinkClient substitutes the HTTP client (timeouts, transports, test
+// servers).
+func WithSinkClient(c *http.Client) SinkOption {
+	return func(s *HTTPSink) { s.client = c }
+}
+
+// WithSinkBatch buffers up to n records per POST instead of flushing every
+// cell immediately. Buffered records are only durable after Flush/Close,
+// so larger batches widen the window a killed worker loses.
+func WithSinkBatch(n int) SinkOption {
+	return func(s *HTTPSink) {
+		if n > 0 {
+			s.batchCap = n
+		}
+	}
+}
+
+// WithSinkRetries sets the retry budget: up to retries re-POSTs after the
+// first failure, sleeping backoff, 2*backoff, 4*backoff, ... between
+// attempts.
+func WithSinkRetries(retries int, backoff time.Duration) SinkOption {
+	return func(s *HTTPSink) {
+		if retries >= 0 {
+			s.retries = retries
+		}
+		if backoff > 0 {
+			s.backoff = backoff
+		}
+	}
+}
+
+// NewHTTPSink builds a sink for the coordinator at base (e.g.
+// "http://127.0.0.1:8080"). The ingest path is schema-versioned: a base
+// without a path gets "/v1/cells" appended; a base that already names a
+// /v1/ path is used as given.
+func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("sim: sink URL %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("sim: sink URL %q: want http:// or https://", base)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("sim: sink URL %q: missing host", base)
+	}
+	trimmed := strings.TrimRight(base, "/")
+	var endpoint string
+	switch {
+	case strings.HasSuffix(trimmed, "/v1"):
+		// ".../v1" or ".../v1/" name the API root: complete the path.
+		endpoint = trimmed + "/cells"
+	case strings.Contains(u.Path, "/v1/"):
+		// An explicit endpoint path is used as given (minus a trailing
+		// slash the exact-match router would 404).
+		endpoint = trimmed
+	default:
+		endpoint = trimmed + "/v1/cells"
+	}
+	s := &HTTPSink{
+		endpoint: endpoint,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		batchCap: 1,
+		retries:  5,
+		backoff:  100 * time.Millisecond,
+		sleep:    time.Sleep,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Emit buffers rec and flushes when the batch is full (immediately, at the
+// default batch size of 1).
+func (s *HTTPSink) Emit(rec CellRecord) error {
+	s.batch = append(s.batch, rec)
+	if len(s.batch) >= s.batchCap {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush POSTs the buffered records, retrying transient failures with
+// exponential backoff. On success the buffer is cleared; on failure it is
+// retained so the error is attributable to specific cells.
+func (s *HTTPSink) Flush() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	var body bytes.Buffer
+	for _, rec := range s.batch {
+		if err := WriteCellRecord(&body, rec); err != nil {
+			return err
+		}
+	}
+	delay := s.backoff
+	var lastErr error
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		if attempt > 0 {
+			s.sleep(delay)
+			delay *= 2
+		}
+		err := s.post(body.Bytes())
+		if err == nil {
+			s.batch = s.batch[:0]
+			return nil
+		}
+		var perm *sinkPermanentError
+		if errors.As(err, &perm) {
+			return fmt.Errorf("sim: sink %s: %w", s.endpoint, err)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("sim: sink %s: giving up after %d attempts: %w",
+		s.endpoint, s.retries+1, lastErr)
+}
+
+// Close flushes any buffered records — the graceful-shutdown path a worker
+// runs before exiting so interrupted runs lose nothing already computed.
+func (s *HTTPSink) Close() error { return s.Flush() }
+
+// post performs one POST of the JSONL payload and interprets the
+// coordinator's response.
+func (s *HTTPSink) post(payload []byte) error {
+	resp, err := s.client.Post(s.endpoint, "application/x-ndjson", bytes.NewReader(payload))
+	if err != nil {
+		return err // network error: retryable
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	switch {
+	case resp.StatusCode >= 500:
+		return fmt.Errorf("coordinator returned %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	case resp.StatusCode >= 400:
+		return &sinkPermanentError{msg: fmt.Sprintf("coordinator rejected batch: %s: %s",
+			resp.Status, strings.TrimSpace(string(raw)))}
+	}
+	var ack IngestResponse
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		return fmt.Errorf("coordinator response unparsable: %v", err)
+	}
+	if ack.Unknown > 0 {
+		return &sinkPermanentError{msg: fmt.Sprintf(
+			"%d records foreign to the coordinator's grid (first: %s) — mismatched grid flags between worker and coordinator?",
+			ack.Unknown, ack.FirstUnknown)}
+	}
+	return nil
+}
+
+// SweepStreamTo runs jobs through SweepStream, emitting every completed
+// cell into sink as a CellRecord, then closes (flushes) the sink. The
+// first stream or emit error is returned; Close runs regardless so
+// buffered records are not silently dropped on cancellation.
+func SweepStreamTo(jobs []SweepJob, workers int, sink CellSink) error {
+	if sink == nil {
+		return errors.New("sim: SweepStreamTo needs a sink")
+	}
+	err := SweepStream(jobs, workers, func(r SweepResult) error {
+		return sink.Emit(NewCellRecord(r))
+	})
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

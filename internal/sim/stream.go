@@ -134,6 +134,53 @@ func ReadCellRecords(r io.Reader) ([]CellRecord, error) {
 	return out, nil
 }
 
+// ErrStopStream is the graceful-drain signal for SweepStream: when emit
+// returns it (alone or wrapped), no further cells are started, but the
+// cells already in flight still run to completion and are emitted — so a
+// worker interrupted by a shutdown signal flushes everything it has
+// already paid to compute instead of discarding it. SweepStream returns
+// ErrStopStream (or the real error, if a later emit fails outright).
+var ErrStopStream = errors.New("sim: stop streaming new cells")
+
+// ReadJournal parses a coordinator journal — JSONL cell records the
+// coordinator itself appended — tolerating exactly one malformed FINAL
+// line: a coordinator killed mid-append leaves a truncated tail, and the
+// journal's whole purpose is recovering from such deaths, so the partial
+// line is dropped (reported via truncated) rather than refusing to
+// resume. A malformed line anywhere else is real corruption and still an
+// error. Use ReadCellRecords for worker output files, where a truncated
+// line must be surfaced so the missing cell gets re-run from diagnostics.
+func ReadJournal(r io.Reader) (recs []CellRecord, truncated bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: corruption.
+			return nil, false, pendingErr
+		}
+		var rec CellRecord
+		if jerr := json.Unmarshal(raw, &rec); jerr != nil {
+			pendingErr = fmt.Errorf("sim: journal line %d: %w", line, jerr)
+			continue
+		}
+		if rec.ID == "" {
+			return nil, false, fmt.Errorf("sim: journal line %d: missing id", line)
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, false, serr
+	}
+	return recs, pendingErr != nil, nil
+}
+
 // SweepStream executes jobs across a bounded worker pool, handing each
 // SweepResult to emit as soon as its cell completes (completion order, not
 // grid order). Emit calls are serialized, so an emit that writes JSONL to
@@ -143,8 +190,9 @@ func ReadCellRecords(r io.Reader) ([]CellRecord, error) {
 // larger than memory. Per-trace predictor precomputation and fleet-scaled
 // trace copies are shared across the stream's cells (one trace.SlidingMax
 // per distinct trace × window, not per cell). An emit error cancels the
-// remaining cells and is returned; individual cell failures are delivered
-// in their SweepResult like Sweep does.
+// remaining cells and is returned — except ErrStopStream, which drains
+// in-flight cells through emit first (graceful stop). Individual cell
+// failures are delivered in their SweepResult like Sweep does.
 func SweepStream(jobs []SweepJob, workers int, emit func(SweepResult) error) error {
 	if emit == nil {
 		return errors.New("sim: SweepStream needs an emit callback")
@@ -160,11 +208,13 @@ func SweepStream(jobs []SweepJob, workers int, emit func(SweepResult) error) err
 	}
 	cache := newSweepCache()
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		emitErr error
-		stop    = make(chan struct{})
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		emitErr  error
+		stop     = make(chan struct{})
+		stopOnce sync.Once
 	)
+	stopFeed := func() { stopOnce.Do(func() { close(stop) }) }
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -175,10 +225,15 @@ func SweepStream(jobs []SweepJob, workers int, emit func(SweepResult) error) err
 				res, err := jobs[i].runWith(cache)
 				r := SweepResult{Job: jobs[i], Index: i, Result: res, Err: err, Wall: time.Since(start)}
 				mu.Lock()
-				if emitErr == nil {
+				if emitErr == nil || errors.Is(emitErr, ErrStopStream) {
 					if eerr := emit(r); eerr != nil {
-						emitErr = eerr
-						close(stop)
+						// A real failure records itself (and upgrades a
+						// graceful stop); ErrStopStream never downgrades a
+						// real failure.
+						if emitErr == nil || !errors.Is(eerr, ErrStopStream) {
+							emitErr = eerr
+						}
+						stopFeed()
 					}
 				}
 				mu.Unlock()
@@ -217,8 +272,13 @@ func (s MergeStats) Complete() bool {
 // MergeCells validates streamed records against the expected grid and
 // returns one record per expected cell, restored to grid order. Re-run
 // cells (the same cell ID appearing in several inputs, e.g. a retried CI
-// matrix job) are deduplicated: the first successful record wins, and a
-// successful record always replaces a failed one. The merge fails — with
+// matrix job) are deduplicated with a canonical ordering: the FIRST
+// successful record in input order wins — a later success, even one with
+// a different wall time or daily breakdown from a re-run, never replaces
+// it, so merged output is a deterministic function of the record
+// sequence — and a successful record always replaces a failed one. The
+// Ingest coordinator applies the same rule, so file merges and network
+// ingests of the same records agree. The merge fails — with
 // the full accounting in MergeStats — if any expected cell is missing or
 // only failed, or if a record belongs to a different grid (wrong trace,
 // scenario set, or fleet axis).

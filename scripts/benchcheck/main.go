@@ -7,6 +7,11 @@
 // order-of-magnitude regressions — an accidental O(fleet) scan back on the
 // hot path, a predictor rebuilt per cell — not percent-level drift.
 //
+// Coverage is part of the gate: every benchmark named in the baseline must
+// appear in the run output, so deleting or renaming a benchmark (or
+// narrowing the -bench regex) fails loudly instead of silently shrinking
+// the gate. Intentional gaps go in -allow-missing.
+//
 // Usage:
 //
 //	go test -run xxx -bench 'EngineDayTrace|FleetScaling' -benchtime 1x . | tee bench.txt
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +45,7 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_sim.json", "committed benchmark snapshot")
 		resultsPath  = flag.String("results", "", "`go test -bench` output to check (default stdin)")
 		factor       = flag.Float64("factor", 10, "fail when measured ns/op exceeds baseline × factor")
+		allowMissing = flag.String("allow-missing", "", "regexp of baseline benchmarks allowed to be absent from the run (default: none — a missing benchmark fails the gate)")
 	)
 	flag.Parse()
 	if *factor <= 1 {
@@ -69,6 +76,33 @@ func main() {
 	}
 	if len(measured) == 0 {
 		log.Fatal("no benchmark results found (did the bench run fail?)")
+	}
+
+	var allowed *regexp.Regexp
+	if *allowMissing != "" {
+		if allowed, err = regexp.Compile(*allowMissing); err != nil {
+			log.Fatalf("invalid -allow-missing: %v", err)
+		}
+	}
+
+	// Every baseline benchmark must appear in the run output: a silent
+	// skip would let a deleted or renamed benchmark drop out of the
+	// regression gate while the gate still reports green.
+	var missing []string
+	for _, b := range base.Results {
+		if _, ok := measured[b.Benchmark]; !ok {
+			if allowed != nil && allowed.MatchString(b.Benchmark) {
+				continue
+			}
+			missing = append(missing, b.Benchmark)
+		}
+	}
+	if len(missing) > 0 {
+		for _, name := range missing {
+			log.Printf("baseline benchmark missing from run output: %s", name)
+		}
+		log.Fatalf("%d baseline benchmarks never ran — deleted or renamed? update %s and the -bench regex together (or list intentional gaps in -allow-missing)",
+			len(missing), *baselinePath)
 	}
 
 	regressions, compared := 0, 0

@@ -1,0 +1,161 @@
+// Command testreport aggregates the sharded CI matrix's `go test -json`
+// logs into one verdict: per shard, how many tests ran and which failed —
+// so a red shard names its failing tests in the job summary instead of
+// forcing a dig through three raw logs. It exits non-zero when any shard
+// recorded a failure (test or package level), when a shard's log is
+// missing (-shards N asserts the expected count, catching a matrix job
+// that died before producing its artifact), or when a log contains no
+// parsable events at all (a crashed `go test` run).
+//
+// Usage (the test-report CI job):
+//
+//	go test -race -json ./... | tee test-shard-0.json
+//	go run ./scripts/testreport -shards 3 test-shard-*.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// event is the subset of test2json's stream this report consumes.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// shardSummary is one log file's accounting.
+type shardSummary struct {
+	events   int
+	passed   int
+	failed   []string          // "package.Test" or "package (package-level)" in failure order
+	output   map[string]string // failure key -> captured output
+	skipped  int
+	unparsed int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("testreport: ")
+	shards := flag.Int("shards", 0, "assert exactly this many log files were given (0 = any)")
+	maxLines := flag.Int("max-lines", 50, "output lines to keep per failing test")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		log.Fatal("no go-test -json logs given")
+	}
+	if *shards > 0 && len(files) != *shards {
+		log.Fatalf("got %d log files, want %d — did a matrix shard die before uploading its artifact? files: %s",
+			len(files), *shards, strings.Join(files, " "))
+	}
+	sort.Strings(files)
+
+	totalFailed := 0
+	for _, name := range files {
+		sum, err := readShard(name, *maxLines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sum.events == 0 {
+			log.Fatalf("%s: no parsable test events (did go test crash before emitting JSON?)", name)
+		}
+		status := "ok"
+		if len(sum.failed) > 0 {
+			status = "FAIL"
+		}
+		fmt.Printf("%-28s %4d passed  %4d failed  %4d skipped  %s\n",
+			name, sum.passed, len(sum.failed), sum.skipped, status)
+		if sum.unparsed > 0 {
+			fmt.Printf("  (%d non-JSON lines ignored)\n", sum.unparsed)
+		}
+		for _, f := range sum.failed {
+			totalFailed++
+			fmt.Printf("  FAIL %s\n", f)
+			for _, line := range strings.Split(strings.TrimRight(sum.output[f], "\n"), "\n") {
+				if line != "" {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+		}
+	}
+	if totalFailed > 0 {
+		log.Fatalf("%d failing tests across %d shards", totalFailed, len(files))
+	}
+	fmt.Printf("all tests across %d shards passed\n", len(files))
+}
+
+// readShard parses one `go test -json` log. Non-JSON lines (a build error
+// interleaved by the shell) are counted, not fatal: the package-level fail
+// event still records the failure.
+func readShard(name string, maxLines int) (*shardSummary, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sum := &shardSummary{output: map[string]string{}}
+	buffered := map[string][]string{}
+	pkgHadTestFail := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			sum.unparsed++
+			continue
+		}
+		sum.events++
+		key := ev.Package
+		if ev.Test != "" {
+			key = ev.Package + "." + ev.Test
+		}
+		switch ev.Action {
+		case "output":
+			lines := buffered[key]
+			if len(lines) < maxLines {
+				buffered[key] = append(lines, ev.Output)
+			}
+		case "pass":
+			if ev.Test != "" {
+				sum.passed++
+			}
+			delete(buffered, key)
+		case "skip":
+			if ev.Test != "" {
+				sum.skipped++
+			}
+			delete(buffered, key)
+		case "fail":
+			label := key
+			if ev.Test == "" {
+				// Every failing test also fails its package; only report
+				// the package itself when nothing more specific did — a
+				// build error or a panic outside any test.
+				if pkgHadTestFail[ev.Package] {
+					delete(buffered, key)
+					continue
+				}
+				label = ev.Package + " (package-level)"
+			} else {
+				pkgHadTestFail[ev.Package] = true
+			}
+			sum.failed = append(sum.failed, label)
+			sum.output[label] = strings.Join(buffered[key], "")
+			delete(buffered, key)
+		}
+	}
+	return sum, sc.Err()
+}

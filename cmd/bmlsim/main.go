@@ -57,7 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
+	"strings"
 
 	"repro/internal/app"
 	"repro/internal/bml"
@@ -71,13 +71,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bmlsim: ")
+	var traceFiles repeatedString
+	flag.Var(&traceFiles, "trace", "replay this trace file instead of generating (repeatable with -sweep: each file is one point of the grid's trace axis, named by its base filename)")
 	var (
 		days      = flag.Int("days", 92, "days to generate when no trace file is given")
 		first     = flag.Int("first", 0, "first evaluated day (default: paper's day 6)")
 		last      = flag.Int("last", 0, "last evaluated day (default: paper's day 92)")
 		peak      = flag.Float64("peak", 5000, "generated trace peak rate")
 		seed      = flag.Int64("seed", 1998, "generator seed")
-		traceFile = flag.String("trace", "", "replay this trace file instead of generating")
 		csv       = flag.Bool("csv", false, "emit the Figure 5 CSV instead of the table")
 		headroom  = flag.Float64("headroom", 1, "prediction headroom factor (≥ 1)")
 		windowF   = flag.Float64("window-factor", 2, "look-ahead window as a multiple of the longest boot")
@@ -91,8 +92,9 @@ func main() {
 		engine    = flag.String("engine", "event", "simulation engine: event (fast, default) | tick (legacy 1 Hz differential oracle, slow)")
 		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds (0 = raw 1 Hz trace)")
 		fleet     = flag.Int("fleet", 0, "scale the trace so the scheduler's peak fleet has ~N machines (0 = paper scale)")
-		sweep     = flag.Bool("sweep", false, "run the scenario × fleet grid as a streaming sweep worker instead of the Figure 5 evaluation")
+		sweep     = flag.Bool("sweep", false, "run the scenario × trace × fleet × config grid as a streaming sweep worker instead of the Figure 5 evaluation")
 		fleets    = flag.String("fleets", "", "comma-separated fleet targets for -sweep (default: the -fleet value)")
+		configs   = flag.String("configs", "", "with -sweep: comma-separated BML config axis, each \"default\" or colon-separated key=value pairs starting with name= (e.g. \"default,name=h13:headroom=1.3,name=oa:overhead-aware=true\"; keys: headroom, window-factor, predictor, ewma-alpha, overhead-aware, amortize, critical, boot-fault, fault-seed)")
 		shard     = flag.String("shard", "", "with -sweep: run only shard i/N of the grid (e.g. 0/4)")
 		outFile   = flag.String("out", "", "with -sweep: stream JSONL cell records to this file (default stdout)")
 		sink      = flag.String("sink", "", "with -sweep: also stream each cell to this bmlsweep ingest URL (POST <url>/v1/cells, retry/backoff)")
@@ -104,14 +106,18 @@ func main() {
 	// Validate sweep-mode flags before any expensive work so malformed
 	// shard specs (0/0, i >= N, negatives) fail loudly instead of silently
 	// running nothing.
+	var configAxis []sim.ConfigAxis
 	if !*sweep {
-		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only} {
+		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only, "-configs": *configs} {
 			if v != "" {
 				log.Fatalf("%s requires -sweep", flagName)
 			}
 		}
 		if *dieAfter != 0 {
 			log.Fatal("-die-after requires -sweep")
+		}
+		if len(traceFiles) > 1 {
+			log.Fatal("multiple -trace files form a grid axis and require -sweep")
 		}
 	} else {
 		if *shard != "" {
@@ -127,35 +133,38 @@ func main() {
 		if *dieAfter < 0 {
 			log.Fatalf("invalid -die-after %d", *dieAfter)
 		}
+		var cerr error
+		if configAxis, cerr = sim.ParseConfigs(*configs); cerr != nil {
+			log.Fatal(cerr)
+		}
 	}
 
-	var tr *trace.Trace
+	if *quantize < 0 {
+		log.Fatalf("invalid -quantize %d (want a positive window in seconds)", *quantize)
+	}
+	var traces []sim.TraceAxis
 	var err error
-	if *traceFile != "" {
-		f, ferr := os.Open(*traceFile)
-		if ferr != nil {
-			log.Fatal(ferr)
+	if len(traceFiles) > 0 {
+		if traces, err = sim.LoadTraceAxes(traceFiles, *quantize); err != nil {
+			log.Fatal(err)
 		}
-		tr, err = trace.Read(f)
-		f.Close()
 	} else {
 		cfg := trace.DefaultWorldCupConfig()
 		cfg.Days = *days
 		cfg.PeakRate = *peak
 		cfg.Seed = *seed
-		tr, err = trace.GenerateWorldCup(cfg)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *quantize < 0 {
-		log.Fatalf("invalid -quantize %d (want a positive window in seconds)", *quantize)
-	}
-	if *quantize > 0 {
-		if tr, err = tr.Quantize(*quantize); err != nil {
-			log.Fatal(err)
+		tr, gerr := trace.GenerateWorldCup(cfg)
+		if gerr != nil {
+			log.Fatal(gerr)
 		}
+		if *quantize > 0 {
+			if tr, gerr = tr.Quantize(*quantize); gerr != nil {
+				log.Fatal(gerr)
+			}
+		}
+		traces = []sim.TraceAxis{{Trace: tr}}
 	}
+	tr := traces[0].Trace
 	if *fleet < 0 {
 		log.Fatalf("invalid -fleet %d (want a target machine count)", *fleet)
 	}
@@ -219,24 +228,20 @@ func main() {
 			// Grid cells run at different fleet scales, each needing a
 			// predictor over its own scaled trace; a single predictor
 			// built over the unscaled trace would be silently wrong.
-			log.Fatal("-sweep uses the paper's look-ahead predictor per cell; -predictor/-error are classic-mode only")
+			log.Fatal("-sweep takes its predictor axis from -configs (predictor=...); -predictor/-error are classic-mode only")
 		}
 		if *headroom != 1 || *windowF != 2 || *overhead || *amortize != 0 || *critical {
-			// A cell's canonical ID covers scenario, fleet scale, and
-			// trace — not the BML config. Workers running divergent
-			// configs would therefore merge cleanly into a silently
-			// inconsistent report, so sweep cells are pinned to the
-			// paper's defaults until config axes join the cell ID
-			// (see ROADMAP).
-			log.Fatal("-sweep cells run the paper's default BML config; -headroom/-window-factor/-overhead-aware/-amortize/-critical are classic-mode only")
+			// A cell's config is a named point on the -configs axis, so it
+			// lands in the canonical cell ID; the classic per-run knobs
+			// bypass that naming and would let divergent workers merge
+			// into a silently inconsistent report.
+			log.Fatal("-headroom/-window-factor/-overhead-aware/-amortize/-critical are classic-mode only; in -sweep, spell ablations as -configs axes (e.g. -configs \"default,name=h13:headroom=1.3\")")
 		}
 		fleetAxis := *fleets
 		if fleetAxis == "" {
 			fleetAxis = fmt.Sprintf("%d", *fleet)
 		}
-		// The zero BMLConfig, exactly what the bmlsweep coordinator
-		// re-enumerates the expected grid with.
-		runSweepMode(tr, sim.BMLConfig{}, simOpts, fleetAxis, *shard, *outFile, *sink, *only, *dieAfter)
+		runSweepMode(traces, configAxis, simOpts, fleetAxis, *shard, *outFile, *sink, *only, *dieAfter)
 		return
 	}
 
@@ -275,6 +280,17 @@ func main() {
 		fmt.Printf("UB Global idle share %.1f%% vs BML idle share %.1f%% — the static cost the paper's design removes\n",
 			ub.Breakdown.IdleShare()*100, bres.Breakdown.IdleShare()*100)
 	}
+}
+
+// repeatedString collects a repeatable string flag (-trace a.txt -trace
+// b.txt) — each occurrence is one point of a sweep grid's trace axis.
+type repeatedString []string
+
+func (r *repeatedString) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatedString) Set(v string) error {
+	*r = append(*r, v)
+	return nil
 }
 
 // buildPredictor returns nil for the default look-ahead-max predictor.

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -13,11 +14,10 @@ import (
 	"repro/internal/bml"
 	"repro/internal/profile"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
-// Sweep worker mode (-sweep): enumerate the scenario × fleet grid over the
-// trace, keep only the cells of this worker's shard (-shard i/N) — further
+// Sweep worker mode (-sweep): enumerate the scenario × trace × fleet ×
+// config grid, keep only the cells of this worker's shard (-shard i/N) — further
 // restricted to an explicit cell set with -only (how a coordinator
 // re-dispatches exactly the cells a crashed worker never streamed — see
 // GET /v1/pending) — and stream each completed cell as one self-describing
@@ -36,7 +36,7 @@ import (
 // failures in the resume end-to-end tests.
 const dieAfterExitCode = 3
 
-func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, fleetsFlag, shardFlag, outPath, sinkURL, onlyPath string, dieAfter int) {
+func runSweepMode(traces []sim.TraceAxis, configAxis []sim.ConfigAxis, simOpts []sim.Option, fleetsFlag, shardFlag, outPath, sinkURL, onlyPath string, dieAfter int) {
 	planner, err := bml.NewPlanner(profile.PaperMachines())
 	if err != nil {
 		log.Fatal(err)
@@ -45,7 +45,7 @@ func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, f
 	if err != nil {
 		log.Fatal(err)
 	}
-	jobs, err := sim.FleetGrid(tr, planner, bmlCfg, fleets, simOpts...)
+	jobs, err := sim.Grid(traces, planner, configAxis, fleets, simOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +76,11 @@ func runSweepMode(tr *trace.Trace, bmlCfg sim.BMLConfig, simOpts []sim.Option, f
 		sinks = append(sinks, sim.NewWriterSink(f))
 	}
 	if sinkURL != "" {
-		hs, err := sim.NewHTTPSink(sinkURL)
+		// Identify this worker (host:pid:shard) so the coordinator's
+		// per-remote liveness view names which shard went quiet.
+		host, _ := os.Hostname()
+		worker := fmt.Sprintf("%s:%d:shard=%s", host, os.Getpid(), spec)
+		hs, err := sim.NewHTTPSink(sinkURL, sim.WithSinkWorker(worker))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,17 +20,21 @@
 //
 //	bmlsweep -spawn 4 -days 7 -quantize 300 -fleets 0,100,1000   # local fan-out
 //	bmlsweep -days 7 -quantize 300 -fleets 0,100,1000 shard-*.jsonl  # merge CI artifacts
+//	bmlsweep -spawn 2 -trace a.txt -trace b.txt \
+//	         -configs "default,name=h13:headroom=1.3"            # ablation grid
 //	bmlsweep -spawn 2 -csv > grid.csv                            # machine-readable merge
 //	bmlsweep -serve 127.0.0.1:8080 -journal j.jsonl -fleets 0,1000   # network ingest
 //	bmlsweep -serve 127.0.0.1:8080 -journal j.jsonl -spawn 4 -fleets 0,1000  # + local workers, auto re-dispatch
 //	bmlsweep -resume j.jsonl -spawn 2 -fleets 0,1000             # re-dispatch only missing cells
 //
-// The grid flags (-days, -peak, -seed, -trace, -quantize, -fleets) must
-// match the ones the workers ran with: the coordinator re-enumerates the
-// grid from them to know which cells to expect, and the canonical cell IDs
-// embedded in each record (scenario, fleet scale, trace fingerprint) make
-// any mismatch — a different trace, a missing shard, a half-written file —
-// a hard validation error instead of a silently wrong report.
+// The grid flags (-days, -peak, -seed, -trace [repeatable], -quantize,
+// -fleets, -configs) must match the ones the workers ran with: the
+// coordinator re-enumerates the grid from them to know which cells to
+// expect, and the canonical cell IDs embedded in each record (scenario,
+// fleet scale, trace fingerprint, config fingerprint) make any mismatch —
+// a different trace, a divergent BML config, a missing shard, a
+// half-written file — a hard validation error instead of a silently wrong
+// report.
 //
 // Exit codes (scriptable; also printed by -h):
 //
@@ -44,6 +48,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -78,20 +83,23 @@ func die(code int, format string, args ...any) {
 // gridFlags is the grid identity shared by every mode: coordinator and
 // workers must enumerate the same grid from the same values.
 type gridFlags struct {
-	traceFile string
-	days      int
-	peak      float64
-	seed      int64
-	quantize  int
-	fleets    string
+	traceFiles []string
+	days       int
+	peak       float64
+	seed       int64
+	quantize   int
+	fleets     string
+	configs    string
 }
 
 // workerArgs renders the flags a spawned bmlsim worker needs to enumerate
 // this same grid.
 func (g gridFlags) workerArgs() []string {
 	args := []string{"-sweep", "-fleets", g.fleets}
-	if g.traceFile != "" {
-		args = append(args, "-trace", g.traceFile)
+	if len(g.traceFiles) > 0 {
+		for _, f := range g.traceFiles {
+			args = append(args, "-trace", f)
+		}
 	} else {
 		args = append(args,
 			"-days", fmt.Sprint(g.days),
@@ -101,19 +109,35 @@ func (g gridFlags) workerArgs() []string {
 	if g.quantize > 0 {
 		args = append(args, "-quantize", fmt.Sprint(g.quantize))
 	}
+	if g.configs != "" {
+		args = append(args, "-configs", g.configs)
+	}
 	return args
+}
+
+// repeatedString collects a repeatable string flag (-trace a.txt -trace
+// b.txt) — each occurrence is one point of the grid's trace axis.
+type repeatedString []string
+
+func (r *repeatedString) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatedString) Set(v string) error {
+	*r = append(*r, v)
+	return nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bmlsweep: ")
+	var traceFiles repeatedString
+	flag.Var(&traceFiles, "trace", "replay this trace file instead of generating (repeatable: each file is one point of the grid's trace axis, named by its base filename)")
 	var (
 		days       = flag.Int("days", 92, "days to generate when no trace file is given")
 		peak       = flag.Float64("peak", 5000, "generated trace peak rate")
 		seed       = flag.Int64("seed", 1998, "generator seed")
-		traceFile  = flag.String("trace", "", "replay this trace file instead of generating")
 		quantize   = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds")
 		fleets     = flag.String("fleets", "0", "comma-separated fleet targets of the grid")
+		configs    = flag.String("configs", "", "comma-separated BML config axis (e.g. \"default,name=h13:headroom=1.3\"); must match the workers' -configs")
 		spawn      = flag.Int("spawn", 0, "spawn this many local bmlsim worker processes, one per shard")
 		bin        = flag.String("bin", "", "bmlsim binary for spawned workers (default: next to this executable, then $PATH)")
 		dir        = flag.String("dir", "", "scratch directory for spawned shard outputs (default: a temp dir)")
@@ -153,9 +177,10 @@ func main() {
 		die(exitUsage, "nothing to do: give -spawn N, JSONL files to merge, -serve addr, or -resume journal (see -h)")
 	}
 
-	grid := gridFlags{traceFile: *traceFile, days: *days, peak: *peak,
-		seed: *seed, quantize: *quantize, fleets: *fleets}
-	tr := buildTrace(grid)
+	grid := gridFlags{traceFiles: traceFiles, days: *days, peak: *peak,
+		seed: *seed, quantize: *quantize, fleets: *fleets, configs: *configs}
+	// Pure flag validation first: a malformed axis must exit 2 instantly,
+	// not after generating a 92-day default trace.
 	planner, err := bml.NewPlanner(profile.PaperMachines())
 	if err != nil {
 		die(exitUsage, "%v", err)
@@ -164,7 +189,12 @@ func main() {
 	if err != nil {
 		die(exitUsage, "%v", err)
 	}
-	jobs, err := sim.FleetGrid(tr, planner, sim.BMLConfig{}, fleetAxis)
+	configAxis, err := sim.ParseConfigs(*configs)
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
+	traces := buildTraces(grid)
+	jobs, err := sim.Grid(traces, planner, configAxis, fleetAxis)
 	if err != nil {
 		die(exitUsage, "%v", err)
 	}
@@ -210,6 +240,12 @@ func main() {
 
 	cells, stats, err := sim.MergeCells(jobs, records)
 	if err != nil {
+		if errors.Is(err, sim.ErrCellSchema) {
+			// Not an incomplete grid: re-dispatching can never fix a
+			// schema mismatch, so it is a usage error (exit 2), matching
+			// what the journal paths (-serve/-resume priming) return.
+			die(exitUsage, "%v", err)
+		}
 		printMergeDiagnostics(stats)
 		die(exitIncomplete, "%v", err)
 	}
@@ -273,37 +309,36 @@ func render(cells []sim.CellRecord, csv bool) int {
 	return exitComplete
 }
 
-// buildTrace mirrors bmlsim's trace construction so coordinator and
-// workers enumerate the same grid from the same flags.
-func buildTrace(grid gridFlags) *trace.Trace {
-	var tr *trace.Trace
-	var err error
-	if grid.traceFile != "" {
-		f, ferr := os.Open(grid.traceFile)
-		if ferr != nil {
-			die(exitUsage, "%v", ferr)
-		}
-		tr, err = trace.Read(f)
-		f.Close()
-	} else {
-		cfg := trace.DefaultWorldCupConfig()
-		cfg.Days = grid.days
-		cfg.PeakRate = grid.peak
-		cfg.Seed = grid.seed
-		tr, err = trace.GenerateWorldCup(cfg)
-	}
-	if err != nil {
-		die(exitUsage, "%v", err)
-	}
+// buildTraces mirrors bmlsim's trace construction so coordinator and
+// workers enumerate the same grid from the same flags: trace files load
+// through the shared sim.LoadTraceAxes (base-filename axis naming — the
+// contract both sides derive cell names from); with no files, the single
+// generated trace is unnamed.
+func buildTraces(grid gridFlags) []sim.TraceAxis {
 	if grid.quantize < 0 {
 		die(exitUsage, "invalid -quantize %d", grid.quantize)
+	}
+	if len(grid.traceFiles) > 0 {
+		traces, err := sim.LoadTraceAxes(grid.traceFiles, grid.quantize)
+		if err != nil {
+			die(exitUsage, "%v", err)
+		}
+		return traces
+	}
+	cfg := trace.DefaultWorldCupConfig()
+	cfg.Days = grid.days
+	cfg.PeakRate = grid.peak
+	cfg.Seed = grid.seed
+	tr, err := trace.GenerateWorldCup(cfg)
+	if err != nil {
+		die(exitUsage, "%v", err)
 	}
 	if grid.quantize > 0 {
 		if tr, err = tr.Quantize(grid.quantize); err != nil {
 			die(exitUsage, "%v", err)
 		}
 	}
-	return tr
+	return []sim.TraceAxis{{Trace: tr}}
 }
 
 // spawnWorkers runs one `bmlsim -sweep -shard i/N` process per shard

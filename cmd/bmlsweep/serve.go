@@ -92,7 +92,11 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 	}
 	ing := sim.NewIngest(jobs, journalW)
 	if len(primed) > 0 {
-		n := ing.Prime(primed)
+		n, err := ing.Prime(primed)
+		if err != nil {
+			log.Print(err)
+			return exitUsage
+		}
 		log.Printf("journal %s: resumed %d records covering %d cells", journalPath, len(primed), n)
 	}
 
@@ -176,6 +180,11 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 		case <-progress.C:
 			st := ing.Status()
 			log.Printf("progress: %d/%d cells received (%d pending)", st.Received, st.Total, st.Pending)
+			// Liveness: a worker whose age keeps growing while cells are
+			// pending is stalled, even though its connection never died.
+			for _, r := range st.Remotes {
+				log.Printf("  worker %s: %d records, last ingest %.0fs ago", r.Remote, r.Records, r.LastIngestAgeSeconds)
+			}
 		}
 	}
 }
@@ -201,7 +210,10 @@ func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir str
 	primed, journalW, closeJournal := openJournal(journalPath)
 	defer closeJournal()
 	ing := sim.NewIngest(jobs, journalW)
-	ing.Prime(primed)
+	if _, err := ing.Prime(primed); err != nil {
+		log.Print(err)
+		return exitUsage
+	}
 	st := ing.Status()
 	log.Printf("journal %s: %d records cover %d/%d cells", journalPath, len(primed), st.Received, st.Total)
 

@@ -230,7 +230,7 @@ func TestCmdBMLSweepSpawn(t *testing.T) {
 			csvLines = append(csvLines, l)
 		}
 	}
-	if len(csvLines) != 9 || !strings.HasPrefix(csvLines[0], "cell,scenario,fleet_scale") {
+	if len(csvLines) != 9 || !strings.HasPrefix(csvLines[0], "cell,scenario,trace,config,config_hash,fleet_scale") {
 		t.Errorf("spawned sweep CSV malformed (%d csv lines):\n%s", len(csvLines), out)
 	}
 }
@@ -587,6 +587,106 @@ func readBody(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestCmdAblationGridShardAndMerge is the cmd-level ablation-grid path the
+// CI job scripts: two trace files (the trace axis), a three-point config
+// axis, two shards merged by bmlsweep under the documented exit-code
+// contract, with the config axis visible in table and CSV.
+func TestCmdAblationGridShardAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	trA := filepath.Join(dir, "trace-a.txt")
+	trB := filepath.Join(dir, "trace-b.txt")
+	runCmd(t, "bmltrace", "-days", "1", "-seed", "11", "-out", trA)
+	runCmd(t, "bmltrace", "-days", "1", "-seed", "22", "-peak", "3000", "-out", trB)
+	gridArgs := []string{"-quantize", "600",
+		"-trace", trA, "-trace", trB, "-fleets", "0",
+		"-configs", "default,name=h13:headroom=1.3,name=oa:overhead-aware=true"}
+
+	// 2 traces × 1 fleet × (3 bounds + 3 configs) = 12 cells.
+	s0 := filepath.Join(dir, "s0.jsonl")
+	s1 := filepath.Join(dir, "s1.jsonl")
+	out := runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "0/2", "-out", s0}, gridArgs...)...)
+	if !strings.Contains(out, "of a 12-cell grid") {
+		t.Errorf("worker summary missing grid size:\n%s", out)
+	}
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "1/2", "-out", s1}, gridArgs...)...)
+
+	// Records self-describe the v2 schema and the config axis.
+	raw, err := os.ReadFile(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		for _, field := range []string{`"schema":2`, `"config_hash":"`, `"id":"`} {
+			if !strings.Contains(line, field) {
+				t.Errorf("JSONL record missing %s: %s", field, line)
+			}
+		}
+	}
+
+	// One shard alone: exit 1 with the missing cells named.
+	out = runCmdExit(t, 1, "bmlsweep", append(append([]string{}, gridArgs...), s0)...)
+	if !strings.Contains(out, "missing cell") {
+		t.Errorf("incomplete ablation merge diagnostics missing:\n%s", out)
+	}
+	// A divergent config axis: the shards' records are foreign (exit 1).
+	divergent := append([]string{}, gridArgs...)
+	divergent[len(divergent)-1] = "default,name=h15:headroom=1.5"
+	out = runCmdExit(t, 1, "bmlsweep", append(append([]string{}, divergent...), s0, s1)...)
+	if !strings.Contains(out, "foreign record") {
+		t.Errorf("divergent -configs not caught as foreign:\n%s", out)
+	}
+	// Malformed -configs: usage, exit 2.
+	runCmdExit(t, 2, "bmlsweep", append([]string{"-configs", "name=:broken"}, s0)...)
+
+	// A v1-schema record set is usage (exit 2), not "incomplete" — no
+	// amount of re-dispatching can fix it, matching the journal paths.
+	v1 := filepath.Join(dir, "v1.jsonl")
+	if err := os.WriteFile(v1, []byte(strings.ReplaceAll(string(raw), `"schema":2`, `"schema":1`)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmdExit(t, 2, "bmlsweep", append(append([]string{}, gridArgs...), v1, s1)...)
+	if !strings.Contains(out, "schema v1") {
+		t.Errorf("v1 merge error does not name the schema:\n%s", out)
+	}
+
+	// Both shards: the validated grid, per-config grouping in the table.
+	merged := runCmdExit(t, 0, "bmlsweep", append(append([]string{}, gridArgs...), s0, s1)...)
+	for _, want := range []string{
+		"bml/trace=trace-a.txt/fleet=0/cfg=h13",
+		"12 cells",
+		"config default:", "config h13:", "config oa:",
+	} {
+		if !strings.Contains(merged, want) {
+			t.Errorf("merged ablation table missing %q:\n%s", want, merged)
+		}
+	}
+
+	// And the CSV carries the axis columns.
+	csv := runCmdExit(t, 0, "bmlsweep", append(append([]string{"-csv"}, gridArgs...), s0, s1)...)
+	if !strings.Contains(csv, "cell,scenario,trace,config,config_hash") ||
+		!strings.Contains(csv, ",h13,") || !strings.Contains(csv, "trace-b.txt") {
+		t.Errorf("ablation CSV missing axis columns:\n%s", csv)
+	}
+}
+
+// TestCmdBMLSimConfigsValidation pins the sweep-only flag contract for the
+// new axes: -configs outside -sweep is rejected, malformed specs die
+// before any simulation, and multiple -trace files are sweep-only.
+func TestCmdBMLSimConfigsValidation(t *testing.T) {
+	out := runCmdErr(t, "bmlsim", "-configs", "default")
+	if !strings.Contains(out, "requires -sweep") {
+		t.Errorf("-configs without -sweep not rejected:\n%s", out)
+	}
+	out = runCmdErr(t, "bmlsim", "-sweep", "-configs", "name=x:headroom=0.5", "-days", "1")
+	if !strings.Contains(out, "headroom") {
+		t.Errorf("bad config spec not rejected up front:\n%s", out)
+	}
+	out = runCmdErr(t, "bmlsim", "-trace", "a.txt", "-trace", "b.txt")
+	if !strings.Contains(out, "require -sweep") {
+		t.Errorf("multiple -trace without -sweep not rejected:\n%s", out)
+	}
 }
 
 func TestCmdBMLSimAblationFlags(t *testing.T) {

@@ -12,16 +12,33 @@ import (
 // hands them here, so a grid computed by one process, eight local workers,
 // or a CI matrix renders identically.
 
+// dash renders an absent axis label ("" = the single unnamed trace, or a
+// config-independent bound cell) visibly.
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 // SweepTable writes merged sweep cells as an aligned table — one row per
-// cell in grid order — followed by a one-line totals summary.
+// cell in grid order, with the trace and config axes as columns — followed
+// by a one-line totals summary. When the grid has a real config axis
+// (more than one config among the cells), per-config BML totals follow:
+// the ablation comparison the config axis exists for.
 func SweepTable(w io.Writer, cells []sim.CellRecord) error {
-	headers := []string{"cell", "scenario", "scale", "total_kWh", "avail_%", "decisions", "ons", "offs", "wall_ms"}
+	headers := []string{"cell", "scenario", "trace", "config", "scale", "total_kWh", "avail_%", "decisions", "ons", "offs", "wall_ms"}
 	rows := make([][]string, 0, len(cells))
 	var totalJ, wallMS float64
+	var cfgOrder []string
+	cfgCells := map[string]int{}
+	cfgJ := map[string]float64{}
 	for _, c := range cells {
 		rows = append(rows, []string{
 			c.Name,
 			c.Scenario,
+			dash(c.TraceName),
+			dash(c.Config),
 			fmt.Sprintf("%g", c.FleetScale),
 			fmt.Sprintf("%.2f", c.TotalJ/3.6e6),
 			fmt.Sprintf("%.4f", c.Availability*100),
@@ -32,24 +49,48 @@ func SweepTable(w io.Writer, cells []sim.CellRecord) error {
 		})
 		totalJ += c.TotalJ
 		wallMS += c.WallMS
+		if c.Config != "" {
+			if _, seen := cfgCells[c.Config]; !seen {
+				cfgOrder = append(cfgOrder, c.Config)
+			}
+			cfgCells[c.Config]++
+			cfgJ[c.Config] += c.TotalJ
+		}
 	}
 	if err := Table(w, headers, rows); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%d cells, %.2f kWh total, %.1f ms simulated wall time\n",
-		len(cells), totalJ/3.6e6, wallMS)
-	return err
+	if _, err := fmt.Fprintf(w, "%d cells, %.2f kWh total, %.1f ms simulated wall time\n",
+		len(cells), totalJ/3.6e6, wallMS); err != nil {
+		return err
+	}
+	if len(cfgOrder) > 1 {
+		for _, name := range cfgOrder {
+			if _, err := fmt.Fprintf(w, "config %s: %.2f kWh over %d BML cells\n",
+				name, cfgJ[name]/3.6e6, cfgCells[name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
-// SweepStatus renders coordinator progress — the ingest server's snapshot
-// plus the first few outstanding canonical cell IDs — as the operator-
-// facing view of a networked sweep (bmlsweep -serve progress lines, and
-// the diagnostics printed when a run ends incomplete).
+// SweepStatus renders coordinator progress — the ingest server's snapshot,
+// per-worker liveness, and the first few outstanding canonical cell IDs —
+// as the operator-facing view of a networked sweep (bmlsweep -serve
+// progress lines, and the diagnostics printed when a run ends incomplete).
 func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
 	_, err := fmt.Fprintf(w, "sweep: %d/%d cells received (%d pending, %d failed, %d duplicates, %d foreign)\n",
 		st.Received, st.Total, st.Pending, st.Failed, st.Duplicates, st.Unknown)
 	if err != nil {
 		return err
+	}
+	for _, r := range st.Remotes {
+		// A growing age with cells pending is a stalled — not dead — worker.
+		if _, err = fmt.Fprintf(w, "  worker %s: %d records, last ingest %.0fs ago\n",
+			r.Remote, r.Records, r.LastIngestAgeSeconds); err != nil {
+			return err
+		}
 	}
 	const show = 10
 	for i, id := range pending {
@@ -67,13 +108,16 @@ func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
 // SweepCSV writes merged sweep cells as a machine-readable series, one row
 // per cell in grid order.
 func SweepCSV(w io.Writer, cells []sim.CellRecord) error {
-	headers := []string{"cell", "scenario", "fleet_scale", "total_J", "availability",
+	headers := []string{"cell", "scenario", "trace", "config", "config_hash", "fleet_scale", "total_J", "availability",
 		"decisions", "switch_ons", "switch_offs", "skipped", "lost_requests", "wall_ms"}
 	rows := make([][]string, 0, len(cells))
 	for _, c := range cells {
 		rows = append(rows, []string{
 			c.Name,
 			c.Scenario,
+			c.TraceName,
+			c.Config,
+			c.ConfigHash,
 			fmt.Sprintf("%g", c.FleetScale),
 			fmt.Sprintf("%.0f", c.TotalJ),
 			fmt.Sprintf("%.6f", c.Availability),

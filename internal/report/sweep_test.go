@@ -10,11 +10,14 @@ import (
 func sweepCells() []sim.CellRecord {
 	return []sim.CellRecord{
 		{
-			ID: "ub-global|a|fleet=1|trace=0:10", Name: "a", Scenario: "ub-global",
+			Schema: sim.CellSchema,
+			ID:     "ub-global|a|fleet=1|trace=0:10|cfg=0", Name: "a", Scenario: "ub-global",
 			FleetScale: 1, TotalJ: 3.6e6, Availability: 1, WallMS: 1.5,
 		},
 		{
-			ID: "bml|b|fleet=10|trace=0:10", Name: "b", Scenario: "bml",
+			Schema: sim.CellSchema,
+			ID:     "bml|b|fleet=10|trace=0:10|cfg=0", Name: "b", Scenario: "bml",
+			TraceName: "wc98-a", Config: "default", ConfigHash: "00000000000000cc",
 			FleetScale: 10, TotalJ: 7.2e6, Availability: 0.9995,
 			Decisions: 12, SwitchOns: 5, SwitchOffs: 4, Skipped: 1,
 			LostRequests: 42, WallMS: 2.5,
@@ -28,10 +31,43 @@ func TestSweepTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"total_kWh", "1.00", "2.00", "99.9500", "2 cells, 3.00 kWh total"} {
+	for _, want := range []string{"total_kWh", "trace", "config", "wc98-a", "default", "1.00", "2.00", "99.9500", "2 cells, 3.00 kWh total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
+	}
+	// A single-config grid renders no per-config ablation totals.
+	if strings.Contains(out, "config default:") {
+		t.Errorf("single-config grid printed per-config totals:\n%s", out)
+	}
+}
+
+// TestSweepTablePerConfigTotals pins the ablation view: a grid whose cells
+// span several configs gets one BML-total line per config, in
+// first-appearance order.
+func TestSweepTablePerConfigTotals(t *testing.T) {
+	cells := sweepCells()
+	cells = append(cells, sim.CellRecord{
+		Schema: sim.CellSchema,
+		ID:     "bml|c|fleet=10|trace=0:10|cfg=1", Name: "c/cfg=h13", Scenario: "bml",
+		TraceName: "wc98-a", Config: "h13", ConfigHash: "00000000000000dd",
+		FleetScale: 10, TotalJ: 10.8e6, Availability: 1, WallMS: 2,
+	})
+	var sb strings.Builder
+	if err := SweepTable(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"config default: 2.00 kWh over 1 BML cells",
+		"config h13: 3.00 kWh over 1 BML cells",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("per-config totals missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "config default:") > strings.Index(out, "config h13:") {
+		t.Errorf("per-config totals out of first-appearance order:\n%s", out)
 	}
 }
 
@@ -44,10 +80,10 @@ func TestSweepCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
 	}
-	if lines[0] != "cell,scenario,fleet_scale,total_J,availability,decisions,switch_ons,switch_offs,skipped,lost_requests,wall_ms" {
+	if lines[0] != "cell,scenario,trace,config,config_hash,fleet_scale,total_J,availability,decisions,switch_ons,switch_offs,skipped,lost_requests,wall_ms" {
 		t.Errorf("header = %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[2], "b,bml,10,7200000,0.999500,12,5,4,1,42,2.5") {
+	if !strings.HasPrefix(lines[2], "b,bml,wc98-a,default,00000000000000cc,10,7200000,0.999500,12,5,4,1,42,2.5") {
 		t.Errorf("row = %s", lines[2])
 	}
 }
@@ -57,7 +93,11 @@ func TestSweepStatus(t *testing.T) {
 	for i := range pending {
 		pending[i] = "bml|cell" + string(rune('a'+i)) + "|fleet=1|trace=0:1"
 	}
-	st := sim.IngestStatus{Total: 20, Received: 6, Pending: 14, Failed: 2, Duplicates: 3, Unknown: 1}
+	st := sim.IngestStatus{Total: 20, Received: 6, Pending: 14, Failed: 2, Duplicates: 3, Unknown: 1,
+		Remotes: []sim.RemoteStatus{
+			{Remote: "host-a:101:shard=0/2", Records: 4, LastIngestAgeSeconds: 2.4},
+			{Remote: "host-b:202:shard=1/2", Records: 3, LastIngestAgeSeconds: 125},
+		}}
 	var sb strings.Builder
 	if err := SweepStatus(&sb, st, pending); err != nil {
 		t.Fatal(err)
@@ -66,6 +106,8 @@ func TestSweepStatus(t *testing.T) {
 	for _, want := range []string{
 		"6/20 cells received",
 		"14 pending, 2 failed, 3 duplicates, 1 foreign",
+		"worker host-a:101:shard=0/2: 4 records, last ingest 2s ago",
+		"worker host-b:202:shard=1/2: 3 records, last ingest 125s ago",
 		"pending: " + pending[0],
 		"pending: " + pending[9],
 		"... and 4 more pending cells",

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"sort"
 	"sync"
+	"time"
 )
 
 // This file is the coordinator half of networked sweeps: Ingest is an
@@ -28,6 +31,17 @@ import (
 // wins (later re-runs with different wall times are counted as duplicates
 // and dropped), and a successful record replaces a failed one.
 
+// RemoteStatus is one worker's liveness entry in the status snapshot: how
+// many records it has POSTed and how long ago its last ingest was. A
+// worker whose age keeps growing while cells are pending is stalled — not
+// dead, so no connection error ever fires — and this is how an operator
+// (or a supervising script polling /v1/status) sees it.
+type RemoteStatus struct {
+	Remote               string  `json:"remote"`
+	Records              int     `json:"records"`
+	LastIngestAgeSeconds float64 `json:"last_ingest_age_s"`
+}
+
 // IngestStatus is the coordinator's progress snapshot (GET /v1/status).
 type IngestStatus struct {
 	Total      int  `json:"total"`      // cells in the expected grid
@@ -37,6 +51,11 @@ type IngestStatus struct {
 	Duplicates int  `json:"duplicates"` // records dropped by first-success-wins dedup
 	Unknown    int  `json:"unknown"`    // records foreign to the expected grid
 	Complete   bool `json:"complete"`   // Pending == 0
+
+	// Remotes lists every worker that has POSTed cells, sorted by name,
+	// with its last-ingest age — the liveness view for spotting stalled
+	// (not just dead) workers.
+	Remotes []RemoteStatus `json:"remotes,omitempty"`
 }
 
 // IngestResponse acknowledges one POST /v1/cells batch.
@@ -63,6 +82,14 @@ type Ingest struct {
 	journal  io.Writer
 	done     chan struct{}
 	closed   bool
+	remotes  map[string]*remoteInfo
+	now      func() time.Time // test hook for liveness ages
+}
+
+// remoteInfo is one worker's liveness accounting.
+type remoteInfo struct {
+	records int
+	last    time.Time
 }
 
 // NewIngest builds a coordinator for the expected grid. When journal is
@@ -86,14 +113,24 @@ func NewIngest(expected []SweepJob, journal io.Writer) *Ingest {
 		got:     make(map[string]CellRecord, len(ids)),
 		journal: journal,
 		done:    make(chan struct{}),
+		remotes: make(map[string]*remoteInfo),
+		now:     time.Now,
 	}
 }
 
 // Prime seeds records already persisted (a journal read back on resume)
 // without re-journaling them, and returns how many cells the seed
 // completed. Foreign and duplicate records in the seed are accounted the
-// same way live ones are.
-func (g *Ingest) Prime(recs []CellRecord) int {
+// same way live ones are. A record written under a different cell schema
+// (a v1 journal fed to a v2 coordinator) rejects the whole seed before
+// anything is folded in — the journal belongs to a grid this build cannot
+// re-enumerate.
+func (g *Ingest) Prime(recs []CellRecord) (int, error) {
+	for _, rec := range recs {
+		if err := CheckCellSchema(rec); err != nil {
+			return 0, err
+		}
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	before := g.received
@@ -101,7 +138,7 @@ func (g *Ingest) Prime(recs []CellRecord) int {
 		g.addLocked(rec, nil)
 	}
 	g.checkCompleteLocked()
-	return g.received - before
+	return g.received - before, nil
 }
 
 // addLocked folds one record into the state. When the record changes state
@@ -149,9 +186,12 @@ func (g *Ingest) checkCompleteLocked() {
 // Add folds one record into the state exactly as a POSTed one — journaled
 // when it changes state — for coordinators that receive records outside
 // HTTP (e.g. bmlsweep -resume reading re-dispatched workers' files). The
-// returned error is a journal write failure; the record is not folded in
-// when journaling fails.
+// returned error is a schema mismatch or a journal write failure; the
+// record is not folded in either way.
 func (g *Ingest) Add(rec CellRecord) error {
+	if err := CheckCellSchema(rec); err != nil {
+		return err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var jerr error
@@ -180,7 +220,8 @@ func (g *Ingest) Pending() []string {
 	return out
 }
 
-// Status returns the progress snapshot.
+// Status returns the progress snapshot, including per-remote liveness
+// (ages computed against the snapshot time).
 func (g *Ingest) Status() IngestStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -193,6 +234,18 @@ func (g *Ingest) Status() IngestStatus {
 	}
 	st.Pending = st.Total - st.Received
 	st.Complete = st.Pending == 0
+	if len(g.remotes) > 0 {
+		now := g.now()
+		st.Remotes = make([]RemoteStatus, 0, len(g.remotes))
+		for name, info := range g.remotes {
+			st.Remotes = append(st.Remotes, RemoteStatus{
+				Remote:               name,
+				Records:              info.records,
+				LastIngestAgeSeconds: now.Sub(info.last).Seconds(),
+			})
+		}
+		sort.Slice(st.Remotes, func(i, j int) bool { return st.Remotes[i].Remote < st.Remotes[j].Remote })
+	}
 	return st
 }
 
@@ -241,6 +294,22 @@ func (g *Ingest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// WorkerHeader identifies the posting worker for the per-remote liveness
+// view. HTTPSink sets it to host:pid (plus the shard, when the worker
+// knows one); posts without it are attributed to their source address.
+const WorkerHeader = "X-Bml-Worker"
+
+// remoteLabel names the posting worker for liveness accounting.
+func remoteLabel(r *http.Request) string {
+	if w := r.Header.Get(WorkerHeader); w != "" {
+		return w
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
 // handleCells folds one POSTed JSONL batch into the coordinator state.
 func (g *Ingest) handleCells(w http.ResponseWriter, r *http.Request) {
 	recs, err := ReadCellRecords(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -248,8 +317,25 @@ func (g *Ingest) handleCells(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad cell batch: %v", err), http.StatusBadRequest)
 		return
 	}
+	for _, rec := range recs {
+		if err := CheckCellSchema(rec); err != nil {
+			// 4xx: retrying cannot fix a schema mismatch, so the worker's
+			// sink fails fast and the operator sees the real problem.
+			http.Error(w, fmt.Sprintf("rejected batch: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
 	var resp IngestResponse
 	g.mu.Lock()
+	// Liveness: the worker proved itself alive by POSTing, whatever the
+	// batch's fate below.
+	info := g.remotes[remoteLabel(r)]
+	if info == nil {
+		info = &remoteInfo{}
+		g.remotes[remoteLabel(r)] = info
+	}
+	info.records += len(recs)
+	info.last = g.now()
 	var journalFailure error
 	for _, rec := range recs {
 		accepted, duplicate, unknown := g.addLocked(rec, &journalFailure)

@@ -37,6 +37,15 @@ type SweepJob struct {
 	Name string
 	// Trace is the load trace to replay.
 	Trace *trace.Trace
+	// TraceName labels the cell's point on a multi-trace grid's trace
+	// axis (empty for single-trace grids — the trace fingerprint in the
+	// cell ID carries identity either way).
+	TraceName string
+	// ConfigName labels the cell's point on the configuration axis
+	// (empty for config-independent cells — the bound scenarios — and
+	// "default" for the zero BMLConfig; the config fingerprint in the
+	// cell ID carries identity either way).
+	ConfigName string
 	// Planner supplies candidate classes and the combination table. The
 	// homogeneous scenarios use Planner.Big(); LowerBound uses
 	// Planner.Candidates().
@@ -80,6 +89,7 @@ type scaleKey struct {
 type predKey struct {
 	tr     *trace.Trace
 	window int
+	spec   string // normalized PredictorSpec ("" = look-ahead-max)
 }
 
 func newSweepCache() *sweepCache {
@@ -109,21 +119,31 @@ func (c *sweepCache) scaledTrace(tr *trace.Trace, f float64) (*trace.Trace, erro
 	return s, nil
 }
 
-// lookahead returns the paper's look-ahead-max predictor for (tr, window),
-// sharing the SlidingMax precomputation across every cell of the sweep
-// that replays the same trace. Predictors are immutable after
-// construction, so sharing one across concurrent runs is race-free.
-func (c *sweepCache) lookahead(tr *trace.Trace, window int) (predict.Predictor, error) {
-	if c == nil {
+// predictor returns the predictor a cell's config selects for (tr, window)
+// — the paper's look-ahead-max by default, or whatever PredictorSpec names
+// — sharing each predictor's O(trace) precomputation across every cell of
+// the sweep that replays the same trace under the same spec. Predictors
+// are immutable after construction, so sharing one across concurrent runs
+// is race-free. The builder is exactly what buildBMLRig would run, so
+// cached and uncached runs are identical.
+func (c *sweepCache) predictor(tr *trace.Trace, window int, spec string) (predict.Predictor, error) {
+	build := func() (predict.Predictor, error) {
+		p, err := predictorFromSpec(tr, spec, window)
+		if p != nil || err != nil {
+			return p, err
+		}
 		return predict.NewLookaheadMax(tr, window)
+	}
+	if c == nil {
+		return build()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := predKey{tr: tr, window: window}
+	key := predKey{tr: tr, window: window, spec: spec}
 	if p, ok := c.preds[key]; ok {
 		return p, nil
 	}
-	p, err := predict.NewLookaheadMax(tr, window)
+	p, err := build()
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +186,7 @@ func (j SweepJob) runWith(cache *sweepCache) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			pred, err := cache.lookahead(tr, window)
+			pred, err := cache.predictor(tr, window, cfg.PredictorSpec)
 			if err != nil {
 				return nil, err
 			}

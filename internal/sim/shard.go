@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -77,23 +79,29 @@ func TraceFingerprint(tr *trace.Trace) uint64 {
 	return tr.Fingerprint()
 }
 
-// CellID returns the job's canonical cell identifier:
+// CellID returns the job's canonical cell identifier (schema v2):
 //
-//	<scenario>|<name>|fleet=<scale>|trace=<fingerprint>:<len>
+//	<scenario>|<name>|fleet=<scale>|trace=<fingerprint>:<len>|cfg=<fingerprint>
 //
 // It is a pure function of the inputs that determine the cell's result, so
 // two processes enumerating the same grid derive the same IDs, and a
 // coordinator can validate a merged result set against the expected grid
 // without re-running anything. The fleet scale is canonicalized (0 and 1
-// both mean "unscaled") so a cell's identity matches its physics.
+// both mean "unscaled") so a cell's identity matches its physics, and the
+// trailing cfg= component — new in v2 — is ConfigFingerprint of the job's
+// BML config, which lets configuration ablations (headroom, predictor,
+// overhead-awareness) be grid axes instead of divergent workers silently
+// merging into one report. The default config's fingerprint is a stable
+// constant, so default cells keep one identity everywhere; the v1→v2 bump
+// itself is pinned byte-for-byte by TestCellIDGoldenV1V2.
 func CellID(j SweepJob) string {
 	fs := j.FleetScale
 	if fs == 0 {
 		fs = 1
 	}
-	return fmt.Sprintf("%s|%s|fleet=%s|trace=%016x:%d",
+	return fmt.Sprintf("%s|%s|fleet=%s|trace=%016x:%d|cfg=%016x",
 		j.Scenario, j.Name, strconv.FormatFloat(fs, 'g', -1, 64),
-		TraceFingerprint(j.Trace), traceLen(j.Trace))
+		TraceFingerprint(j.Trace), traceLen(j.Trace), ConfigFingerprint(j.BML))
 }
 
 func traceLen(tr *trace.Trace) int {
@@ -152,45 +160,177 @@ var Scenarios = []Scenario{
 	ScenarioLowerBound,
 }
 
-// FleetGrid enumerates the scenario × fleet experiment grid over one trace:
-// for every fleet target (0 = paper scale) and every scenario, one SweepJob
-// whose FleetScale multiplies the load so the scheduler's peak combination
-// provisions ~n machines. Enumeration order — and therefore cell naming —
-// is deterministic, so independent worker processes given the same inputs
-// build identical grids and can shard them without coordination.
-func FleetGrid(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, fleets []int, opts ...Option) ([]SweepJob, error) {
-	if tr == nil || planner == nil {
-		return nil, fmt.Errorf("sim: fleet grid needs a trace and a planner")
+// TraceAxis is one named point on a grid's trace axis. Single-trace grids
+// conventionally leave Name empty (the trace fingerprint in the cell ID
+// carries identity); multi-trace grids need unique non-empty names because
+// the name becomes part of the cell name and the report rows.
+type TraceAxis struct {
+	Name  string
+	Trace *trace.Trace
+}
+
+// LoadTraceAxes reads each trace file into one point of a grid's trace
+// axis, quantizing when quantize > 0. Axis points are named by base
+// filename — THE naming contract between bmlsim workers and the bmlsweep
+// coordinator (both call this; different paths to the same-named,
+// same-content file still enumerate the same grid). Name validity
+// (uniqueness, ID-safe characters) is Grid's job, so it is enforced in
+// exactly one place.
+func LoadTraceAxes(paths []string, quantize int) ([]TraceAxis, error) {
+	var out []TraceAxis
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if quantize > 0 {
+			if tr, err = tr.Quantize(quantize); err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		out = append(out, TraceAxis{Name: filepath.Base(path), Trace: tr})
+	}
+	return out, nil
+}
+
+// Grid enumerates the full scenario × trace × fleet × config experiment
+// grid: for every trace, every fleet target (0 = paper scale), and every
+// config, the four §V-C scenarios. The three bound scenarios (UpperBound
+// Global/PerDay, LowerBound) do not consume the BML config, so they are
+// enumerated once per trace × fleet — under the zero config, which is what
+// their cell IDs fingerprint — rather than once per config: a cell's
+// identity matches its physics, and the grid never re-simulates a bound
+// because an ablation knob it cannot see changed. A trace × fleet × config
+// grid therefore has traces × fleets × (3 + configs) cells. Enumeration
+// order — and therefore cell naming — is deterministic, so independent
+// worker processes given the same inputs build identical grids and can
+// shard them without coordination.
+func Grid(traces []TraceAxis, planner *bml.Planner, configs []ConfigAxis, fleets []int, opts ...Option) ([]SweepJob, error) {
+	if len(traces) == 0 || planner == nil {
+		return nil, fmt.Errorf("sim: grid needs at least one trace and a planner")
+	}
+	seenTrace := map[string]bool{}
+	for _, ta := range traces {
+		if ta.Trace == nil {
+			return nil, fmt.Errorf("sim: grid trace axis %q has a nil trace", ta.Name)
+		}
+		// The name travels through '|'-delimited cell IDs, whitespace-split
+		// pending files, and CSV cells — same survival rules as config
+		// names ("" is allowed only for the single unnamed trace).
+		if ta.Name != "" && !configNameRE.MatchString(ta.Name) {
+			return nil, fmt.Errorf("sim: trace axis name %q: want only letters, digits, '.', '_', '-'", ta.Name)
+		}
+		if len(traces) > 1 {
+			if ta.Name == "" {
+				return nil, fmt.Errorf("sim: every trace of a multi-trace grid needs a name")
+			}
+			if seenTrace[ta.Name] {
+				return nil, fmt.Errorf("sim: duplicate trace axis name %q", ta.Name)
+			}
+			seenTrace[ta.Name] = true
+		}
+	}
+	if len(configs) == 0 {
+		configs = DefaultConfigs()
+	}
+	defaultFP := ConfigFingerprint(BMLConfig{})
+	cfgFPs := make([]uint64, len(configs))
+	seenCfg := map[string]bool{}
+	seenFP := map[uint64]string{}
+	for i, ca := range configs {
+		if ca.Name == "" {
+			return nil, fmt.Errorf("sim: every config of a grid needs a name")
+		}
+		if seenCfg[ca.Name] {
+			return nil, fmt.Errorf("sim: duplicate config axis name %q", ca.Name)
+		}
+		seenCfg[ca.Name] = true
+		cfgFPs[i] = ConfigFingerprint(ca.Config)
+		if prev, dup := seenFP[cfgFPs[i]]; dup {
+			// Same fingerprint = same physics = identical cell IDs: the
+			// grid would expect the same cell twice.
+			return nil, fmt.Errorf("sim: configs %q and %q are the same effective config (%s)",
+				prev, ca.Name, CanonicalConfig(ca.Config))
+		}
+		seenFP[cfgFPs[i]] = ca.Name
 	}
 	if len(fleets) == 0 {
 		fleets = []int{0}
 	}
-	base := planner.Combination(tr.Max()).TotalNodes()
-	if base < 1 {
-		base = 1
-	}
 	var jobs []SweepJob
-	for _, n := range fleets {
-		if n < 0 {
-			return nil, fmt.Errorf("sim: fleet target %d must be >= 0", n)
+	for _, ta := range traces {
+		base := planner.Combination(ta.Trace.Max()).TotalNodes()
+		if base < 1 {
+			base = 1
 		}
-		scale := 0.0
-		if n > 0 {
-			scale = float64(n) / float64(base)
-		}
-		for _, sc := range Scenarios {
-			jobs = append(jobs, SweepJob{
-				Name:       fmt.Sprintf("%s/fleet=%d", sc, n),
-				Trace:      tr,
-				Planner:    planner,
-				Scenario:   sc,
-				BML:        cfg,
-				FleetScale: scale,
-				Options:    opts,
-			})
+		for _, n := range fleets {
+			if n < 0 {
+				return nil, fmt.Errorf("sim: fleet target %d must be >= 0", n)
+			}
+			scale := 0.0
+			if n > 0 {
+				scale = float64(n) / float64(base)
+			}
+			for ci, ca := range configs {
+				for _, sc := range Scenarios {
+					if sc != ScenarioBML && ci > 0 {
+						continue // config-independent: enumerated under configs[0]'s pass only
+					}
+					j := SweepJob{
+						Trace:      ta.Trace,
+						TraceName:  ta.Name,
+						Planner:    planner,
+						Scenario:   sc,
+						FleetScale: scale,
+						Options:    opts,
+					}
+					segs := []string{string(sc)}
+					if ta.Name != "" {
+						segs = append(segs, "trace="+ta.Name)
+					}
+					segs = append(segs, fmt.Sprintf("fleet=%d", n))
+					if sc == ScenarioBML {
+						j.BML = ca.Config
+						j.ConfigName = ca.Name
+						// Keyed on physics, not the label: only truly
+						// default-fingerprint cells keep the bare v1 names.
+						if cfgFPs[ci] != defaultFP {
+							segs = append(segs, "cfg="+ca.Name)
+						}
+					}
+					j.Name = strings.Join(segs, "/")
+					jobs = append(jobs, j)
+				}
+			}
 		}
 	}
 	return jobs, nil
+}
+
+// ConfigGrid enumerates a scenario × fleet × config grid over one trace —
+// the single-trace ablation grid.
+func ConfigGrid(tr *trace.Trace, planner *bml.Planner, configs []ConfigAxis, fleets []int, opts ...Option) ([]SweepJob, error) {
+	return Grid([]TraceAxis{{Trace: tr}}, planner, configs, fleets, opts...)
+}
+
+// TraceGrid enumerates a scenario × trace × fleet grid under one config.
+func TraceGrid(traces []TraceAxis, planner *bml.Planner, cfg BMLConfig, fleets []int, opts ...Option) ([]SweepJob, error) {
+	return Grid(traces, planner, []ConfigAxis{{Name: "default", Config: cfg}}, fleets, opts...)
+}
+
+// FleetGrid enumerates the scenario × fleet experiment grid over one trace
+// under one config — the pre-ablation grid shape, retained as the common
+// case: cell names stay exactly the v1 names ("<scenario>/fleet=<n>").
+func FleetGrid(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, fleets []int, opts ...Option) ([]SweepJob, error) {
+	if tr == nil || planner == nil {
+		return nil, fmt.Errorf("sim: fleet grid needs a trace and a planner")
+	}
+	return ConfigGrid(tr, planner, []ConfigAxis{{Name: "default", Config: cfg}}, fleets, opts...)
 }
 
 // ParseFleets parses a comma-separated list of fleet targets ("0,100,1000")

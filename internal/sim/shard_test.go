@@ -450,8 +450,10 @@ func TestSweepStreamGracefulDrain(t *testing.T) {
 
 func TestCellRecordJSONRoundTrip(t *testing.T) {
 	rec := CellRecord{
-		ID: "bml|x|fleet=1|trace=00000000000000aa:42", Name: "x", Scenario: "bml",
+		Schema: CellSchema,
+		ID:     "bml|x|fleet=1|trace=00000000000000aa:42|cfg=00000000000000bb", Name: "x", Scenario: "bml",
 		FleetScale: 1.25, TraceHash: "00000000000000aa", TraceLen: 42,
+		TraceName: "wc98-a", Config: "h13", ConfigHash: "00000000000000bb",
 		TotalJ: 1234.567890123456, DailyJ: []float64{1.1, 2.2},
 		Decisions: 7, SwitchOns: 3, SwitchOffs: 2, Skipped: 1,
 		Availability: 0.999999999999, ViolationSeconds: 1.5, LostRequests: 0.25,

@@ -139,6 +139,13 @@ type BMLConfig struct {
 	// Predictor overrides the paper's look-ahead-max predictor when
 	// non-nil (used by the prediction ablations).
 	Predictor predict.Predictor
+	// PredictorSpec declaratively selects the predictor kind when
+	// Predictor is nil: "lookahead" (or empty — the paper default),
+	// "oracle", "lastvalue", "ewma[:alpha]", "pattern". Grid cells need a
+	// spec rather than an instance because every fleet-scaled cell builds
+	// its predictor over its own scaled trace; a concrete Predictor is
+	// bound to one trace.
+	PredictorSpec string
 	// Headroom scales predictions (>= 1); zero means 1 (or the
 	// application class default when App is set).
 	Headroom float64
@@ -183,6 +190,12 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 		return nil, nil, nil, err
 	}
 	pred := cfg.Predictor
+	if pred == nil {
+		pred, err = predictorFromSpec(tr, cfg.PredictorSpec, window)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	if pred == nil {
 		pred, err = predict.NewLookaheadMax(tr, window)
 		if err != nil {

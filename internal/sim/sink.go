@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"time"
 )
@@ -98,6 +99,7 @@ type HTTPSink struct {
 	backoff  time.Duration
 	sleep    func(time.Duration) // test hook
 	batch    []CellRecord
+	worker   string // X-Bml-Worker identity for coordinator liveness
 }
 
 // SinkOption configures an HTTPSink.
@@ -116,6 +118,18 @@ func WithSinkBatch(n int) SinkOption {
 	return func(s *HTTPSink) {
 		if n > 0 {
 			s.batchCap = n
+		}
+	}
+}
+
+// WithSinkWorker overrides the worker identity sent with every POST (the
+// X-Bml-Worker header), which is how the coordinator's per-remote liveness
+// view (/v1/status "remotes") names this worker. The default is host:pid;
+// bmlsim adds its shard spec so a stalled shard is identifiable.
+func WithSinkWorker(id string) SinkOption {
+	return func(s *HTTPSink) {
+		if id != "" {
+			s.worker = id
 		}
 	}
 }
@@ -162,6 +176,7 @@ func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
 	default:
 		endpoint = trimmed + "/v1/cells"
 	}
+	host, _ := os.Hostname()
 	s := &HTTPSink{
 		endpoint: endpoint,
 		client:   &http.Client{Timeout: 30 * time.Second},
@@ -169,6 +184,7 @@ func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
 		retries:  5,
 		backoff:  100 * time.Millisecond,
 		sleep:    time.Sleep,
+		worker:   fmt.Sprintf("%s:%d", host, os.Getpid()),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -228,7 +244,13 @@ func (s *HTTPSink) Close() error { return s.Flush() }
 // post performs one POST of the JSONL payload and interprets the
 // coordinator's response.
 func (s *HTTPSink) post(payload []byte) error {
-	resp, err := s.client.Post(s.endpoint, "application/x-ndjson", bytes.NewReader(payload))
+	req, err := http.NewRequest(http.MethodPost, s.endpoint, bytes.NewReader(payload))
+	if err != nil {
+		return &sinkPermanentError{msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(WorkerHeader, s.worker)
+	resp, err := s.client.Do(req)
 	if err != nil {
 		return err // network error: retryable
 	}

@@ -14,7 +14,7 @@ import (
 )
 
 func testRecord(id string) CellRecord {
-	return CellRecord{ID: id, Name: "x", Scenario: "bml", FleetScale: 1,
+	return CellRecord{Schema: CellSchema, ID: id, Name: "x", Scenario: "bml", FleetScale: 1,
 		TraceHash: "00000000000000aa", TraceLen: 1, TotalJ: 1, Availability: 1, WallMS: 1}
 }
 
@@ -360,7 +360,9 @@ func TestNetworkKillResumeMatchesSweep(t *testing.T) {
 		t.Fatalf("journal holds %d records, want %d (duplicates are not journaled)", len(replayed), len(jobs))
 	}
 	fresh := NewIngest(jobs, nil)
-	fresh.Prime(replayed)
+	if _, err := fresh.Prime(replayed); err != nil {
+		t.Fatal(err)
+	}
 	if st := fresh.Status(); !st.Complete {
 		t.Errorf("journal replay incomplete: %+v", st)
 	}

@@ -20,19 +20,34 @@ import (
 // side that validates a set of streamed records against the expected grid,
 // deduplicates re-run cells, and restores grid order for reporting.
 
+// CellSchema is the version of the CellRecord/cell-ID schema this build
+// writes. v1 (records with no schema field) identified cells by
+// scenario|name|fleet|trace; v2 added the config fingerprint — cell IDs
+// end in "|cfg=<hash>" and records carry config/config_hash — so that BML
+// configuration ablations are grid axes. The bump is deliberate and hard:
+// a v1 record in a v2 grid is rejected with an explanatory error by
+// MergeCells and the ingest coordinator, never silently treated as a
+// foreign cell.
+const CellSchema = 2
+
 // CellRecord is one completed sweep cell in self-describing form: enough
-// identity to validate it against a grid re-enumerated elsewhere (cell ID,
-// scenario, fleet scale, trace fingerprint) plus the full result payload
-// (energies in joules, scheduler counters, QoS, wall time). Records are
-// exchanged as JSON Lines; float64 values round-trip exactly through
-// encoding/json, so merged results are bit-identical to in-process ones.
+// identity to validate it against a grid re-enumerated elsewhere (schema
+// version, cell ID, scenario, fleet scale, trace fingerprint, config
+// fingerprint) plus the full result payload (energies in joules, scheduler
+// counters, QoS, wall time). Records are exchanged as JSON Lines; float64
+// values round-trip exactly through encoding/json, so merged results are
+// bit-identical to in-process ones.
 type CellRecord struct {
+	Schema     int     `json:"schema"`
 	ID         string  `json:"id"`
 	Name       string  `json:"name,omitempty"`
 	Scenario   string  `json:"scenario"`
 	FleetScale float64 `json:"fleet_scale"`
 	TraceHash  string  `json:"trace_hash"`
 	TraceLen   int     `json:"trace_len"`
+	TraceName  string  `json:"trace_name,omitempty"`
+	Config     string  `json:"config,omitempty"`
+	ConfigHash string  `json:"config_hash"`
 
 	TotalJ float64   `json:"total_J"`
 	DailyJ []float64 `json:"daily_J,omitempty"`
@@ -62,12 +77,16 @@ func NewCellRecord(r SweepResult) CellRecord {
 		fs = 1
 	}
 	rec := CellRecord{
+		Schema:     CellSchema,
 		ID:         CellID(r.Job),
 		Name:       r.Job.Name,
 		Scenario:   string(r.Job.Scenario),
 		FleetScale: fs,
 		TraceHash:  fmt.Sprintf("%016x", TraceFingerprint(r.Job.Trace)),
 		TraceLen:   traceLen(r.Job.Trace),
+		TraceName:  r.Job.TraceName,
+		Config:     r.Job.ConfigName,
+		ConfigHash: fmt.Sprintf("%016x", ConfigFingerprint(r.Job.BML)),
 		WallMS:     float64(r.Wall) / float64(time.Millisecond),
 	}
 	if r.Err != nil {
@@ -253,6 +272,29 @@ feed:
 	return emitErr
 }
 
+// ErrCellSchema marks a record written under a different cell-ID schema
+// than this build's — a condition no amount of re-dispatching or retrying
+// fixes, which callers (the bmlsweep exit-code contract) must distinguish
+// from an incomplete grid. Test with errors.Is.
+var ErrCellSchema = errors.New("sim: cell schema mismatch")
+
+// CheckCellSchema rejects records written under a different cell-ID schema
+// than this build's. A v1 record's IDs lack the cfg= component, so letting
+// one into a v2 merge would misreport every cell as foreign; the explicit
+// error (wrapping ErrCellSchema) says what actually happened and what to
+// do about it.
+func CheckCellSchema(rec CellRecord) error {
+	if rec.Schema == CellSchema {
+		return nil
+	}
+	v := rec.Schema
+	if v == 0 {
+		v = 1 // records predating the schema field
+	}
+	return fmt.Errorf("%w: record %s: schema v%d, this build expects v%d (v2 cell IDs carry a config fingerprint: re-run the workers from this build, or keep old journals/outputs with the build that wrote them)",
+		ErrCellSchema, rec.ID, v, CellSchema)
+}
+
 // MergeStats describes what MergeCells saw: how many records arrived, how
 // many were duplicate re-runs of the same cell, and which expected cells
 // are missing, foreign to the grid, or failed.
@@ -291,6 +333,11 @@ func MergeCells(expected []SweepJob, records []CellRecord) ([]CellRecord, MergeS
 	stats := MergeStats{Records: len(records)}
 	byID := make(map[string]CellRecord, len(ids))
 	for _, rec := range records {
+		if err := CheckCellSchema(rec); err != nil {
+			// A mixed-schema record set is a hard error, not a foreign
+			// record: v1 IDs would otherwise all report as Unknown.
+			return nil, stats, err
+		}
 		if _, ok := want[rec.ID]; !ok {
 			stats.Unknown = append(stats.Unknown, rec.ID)
 			continue

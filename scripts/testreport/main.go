@@ -7,6 +7,11 @@
 // that died before producing its artifact), or when a log contains no
 // parsable events at all (a crashed `go test` run).
 //
+// It also lists each shard's -slowest N tests (by the elapsed time in the
+// pass/fail events): the shards are split by hashed package path, so when
+// one shard becomes the matrix's long pole, these lines name the tests to
+// split, gate behind flags, or rebalance.
+//
 // Usage (the test-report CI job):
 //
 //	go test -race -json ./... | tee test-shard-0.json
@@ -26,10 +31,17 @@ import (
 
 // event is the subset of test2json's stream this report consumes.
 type event struct {
-	Action  string `json:"Action"`
-	Package string `json:"Package"`
-	Test    string `json:"Test"`
-	Output  string `json:"Output"`
+	Action  string  `json:"Action"`
+	Package string  `json:"Package"`
+	Test    string  `json:"Test"`
+	Output  string  `json:"Output"`
+	Elapsed float64 `json:"Elapsed"`
+}
+
+// timedTest is one finished test and its wall time.
+type timedTest struct {
+	name    string
+	elapsed float64
 }
 
 // shardSummary is one log file's accounting.
@@ -40,6 +52,7 @@ type shardSummary struct {
 	output   map[string]string // failure key -> captured output
 	skipped  int
 	unparsed int
+	timed    []timedTest // every finished test with its elapsed seconds
 }
 
 func main() {
@@ -47,6 +60,7 @@ func main() {
 	log.SetPrefix("testreport: ")
 	shards := flag.Int("shards", 0, "assert exactly this many log files were given (0 = any)")
 	maxLines := flag.Int("max-lines", 50, "output lines to keep per failing test")
+	slowest := flag.Int("slowest", 5, "list this many slowest tests per shard (0 disables) — the shard-rebalancing guide")
 	flag.Parse()
 
 	files := flag.Args()
@@ -84,6 +98,17 @@ func main() {
 				if line != "" {
 					fmt.Printf("    %s\n", line)
 				}
+			}
+		}
+		if *slowest > 0 && len(sum.timed) > 0 {
+			sort.SliceStable(sum.timed, func(i, j int) bool { return sum.timed[i].elapsed > sum.timed[j].elapsed })
+			n := *slowest
+			if n > len(sum.timed) {
+				n = len(sum.timed)
+			}
+			fmt.Printf("  slowest %d tests:\n", n)
+			for _, tt := range sum.timed[:n] {
+				fmt.Printf("    %8.2fs %s\n", tt.elapsed, tt.name)
 			}
 		}
 	}
@@ -131,6 +156,7 @@ func readShard(name string, maxLines int) (*shardSummary, error) {
 		case "pass":
 			if ev.Test != "" {
 				sum.passed++
+				sum.timed = append(sum.timed, timedTest{name: key, elapsed: ev.Elapsed})
 			}
 			delete(buffered, key)
 		case "skip":
@@ -151,6 +177,7 @@ func readShard(name string, maxLines int) (*shardSummary, error) {
 				label = ev.Package + " (package-level)"
 			} else {
 				pkgHadTestFail[ev.Package] = true
+				sum.timed = append(sum.timed, timedTest{name: key, elapsed: ev.Elapsed})
 			}
 			sum.failed = append(sum.failed, label)
 			sum.output[label] = strings.Join(buffered[key], "")

@@ -17,6 +17,7 @@
 //	bmlsim -sweep -fleets 0,1000 -shard 0/4 -out s0.jsonl # run shard 0 of 4
 //	bmlsim -sweep -fleets 0,1000 -shard 0/4 -sink http://host:8080  # stream to a bmlsweep coordinator
 //	bmlsim -sweep -only pending.txt -sink http://host:8080          # re-dispatch only the listed cells
+//	bmlsim -sweep -fleets 0,1000 -cache cells.cache -out s0.jsonl   # incremental: serve cached cells, compute the rest
 //
 // Sweep worker mode (-sweep) replaces the Figure 5 evaluation with a
 // scenario × fleet experiment grid: every cell is simulated independently
@@ -99,6 +100,7 @@ func main() {
 		outFile   = flag.String("out", "", "with -sweep: stream JSONL cell records to this file (default stdout)")
 		sink      = flag.String("sink", "", "with -sweep: also stream each cell to this bmlsweep ingest URL (POST <url>/v1/cells, retry/backoff)")
 		only      = flag.String("only", "", "with -sweep: run only the canonical cell IDs listed in this file (\"-\" = stdin) — feed a coordinator's GET /v1/pending output here to re-dispatch a crashed worker's cells")
+		cacheSpec = flag.String("cache", "", "with -sweep: content-addressed result cache, a local directory or a coordinator URL (http://...) — cells whose canonical ID already has a cached success are served from it without simulating, fresh successes are written back")
 		dieAfter  = flag.Int("die-after", 0, "with -sweep: abort the process (exit 3, no flush) after streaming N cells — fault injection for kill-and-resume end-to-end tests")
 	)
 	flag.Parse()
@@ -108,7 +110,7 @@ func main() {
 	// running nothing.
 	var configAxis []sim.ConfigAxis
 	if !*sweep {
-		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only, "-configs": *configs} {
+		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only, "-configs": *configs, "-cache": *cacheSpec} {
 			if v != "" {
 				log.Fatalf("%s requires -sweep", flagName)
 			}
@@ -241,7 +243,7 @@ func main() {
 		if fleetAxis == "" {
 			fleetAxis = fmt.Sprintf("%d", *fleet)
 		}
-		runSweepMode(traces, configAxis, simOpts, fleetAxis, *shard, *outFile, *sink, *only, *dieAfter)
+		runSweepMode(traces, configAxis, simOpts, fleetAxis, *shard, *outFile, *sink, *only, *cacheSpec, *dieAfter)
 		return
 	}
 

@@ -11,6 +11,12 @@
 //   - resume an interrupted run from its journal (-resume), re-dispatching
 //     only the cells no worker ever streamed.
 //
+// Every mode accepts -cache DIR|URL, a content-addressed result cache
+// keyed by canonical cell ID: cached cells are served without
+// re-simulating (coordinator-side priming plus -cache on every spawned
+// worker), and merged successes are written back, making repeated sweeps
+// over overlapping grids incremental.
+//
 // In every mode the merged records are validated against the expected
 // grid — every cell present exactly once, no cells from a different grid,
 // no failed cells — deduplicated (first success wins), and rendered
@@ -147,6 +153,7 @@ func main() {
 		resume     = flag.String("resume", "", "resume from this journal: load its records, re-dispatch only the missing cells to spawned workers, merge, report")
 		wait       = flag.Duration("wait", 0, "with -serve: exit 1 after this long with the grid still incomplete (0 = wait forever)")
 		redispatch = flag.Int("redispatch", 2, "with -serve -spawn: rounds of pending-cell re-dispatch after the initial workers exit")
+		cacheSpec  = flag.String("cache", "", "content-addressed result cache, a local directory or a coordinator URL (http://...): cells already cached are served without re-simulating, merged successes are written back; spawned workers inherit the same cache")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -198,17 +205,27 @@ func main() {
 	if err != nil {
 		die(exitUsage, "%v", err)
 	}
+	// Result cache (-cache): opened once here so a bad spec is a usage
+	// error in every mode; threaded to the serve/resume paths and, as the
+	// original flag value, to every spawned worker so they skip cached
+	// cells themselves.
+	var cache sim.CellCache
+	if *cacheSpec != "" {
+		if cache, err = sim.OpenCellCache(*cacheSpec); err != nil {
+			die(exitUsage, "%v", err)
+		}
+	}
 
 	switch {
 	case serveMode:
-		os.Exit(runServe(*serve, jobs, *journal, *spawn, *bin, *dir, grid, *wait, *redispatch, *csv))
+		os.Exit(runServe(*serve, jobs, *journal, *spawn, *bin, *dir, grid, *wait, *redispatch, *csv, cache, *cacheSpec))
 	case resumeMode:
-		os.Exit(runResume(*resume, jobs, *spawn, *bin, *dir, grid, *csv))
+		os.Exit(runResume(*resume, jobs, *spawn, *bin, *dir, grid, *csv, cache, *cacheSpec))
 	}
 
 	spawned := *spawn > 0
 	if spawned {
-		files = spawnWorkers(*spawn, *bin, *dir, grid, nil, true)
+		files = spawnWorkers(*spawn, *bin, *dir, grid, cacheArgs(*cacheSpec), true)
 	}
 
 	var records []sim.CellRecord
@@ -238,6 +255,38 @@ func main() {
 		records = append(records, recs...)
 	}
 
+	// Cells the files do not cover may still be cached from an earlier run
+	// (e.g. merging a partial set of CI artifacts over a warm cache): serve
+	// those from the cache so only genuinely new cells can fail the merge.
+	if cache != nil {
+		have := make(map[string]bool, len(records))
+		for _, rec := range records {
+			if rec.Err == "" {
+				have[rec.ID] = true
+			}
+		}
+		hits := 0
+		for _, j := range jobs {
+			id := sim.CellID(j)
+			if have[id] {
+				continue
+			}
+			rec, ok, err := cache.Get(id)
+			if err != nil {
+				die(exitUsage, "%v", err)
+			}
+			if !ok {
+				continue
+			}
+			rec.Cached = true
+			records = append(records, rec)
+			hits++
+		}
+		if hits > 0 {
+			log.Printf("cache: %d cells served from cache", hits)
+		}
+	}
+
 	cells, stats, err := sim.MergeCells(jobs, records)
 	if err != nil {
 		if errors.Is(err, sim.ErrCellSchema) {
@@ -251,7 +300,42 @@ func main() {
 	}
 	log.Printf("merged %d records from %d files into %d cells (%d duplicates deduplicated)",
 		stats.Records, len(files), len(cells), stats.Duplicates)
+	writeBackCache(cache, cells)
 	os.Exit(render(cells, *csv))
+}
+
+// cacheArgs renders the -cache flag for a spawned bmlsim worker, so the
+// workers consult and fill the same cache the coordinator does.
+func cacheArgs(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	return []string{"-cache", spec}
+}
+
+// writeBackCache stores every merged cell in the cache so the next run
+// over this grid starts warm. Cells marked Cached came FROM the cache (or
+// from a worker that already wrote them back) and are skipped; failures
+// are logged, not fatal — the cache is an accelerator, and the merge it
+// would have served is already complete and validated.
+func writeBackCache(cache sim.CellCache, cells []sim.CellRecord) {
+	if cache == nil {
+		return
+	}
+	wrote := 0
+	for _, c := range cells {
+		if c.Cached {
+			continue
+		}
+		if err := cache.Put(c); err != nil {
+			log.Printf("cache write-back stopped after %d cells: %v", wrote, err)
+			return
+		}
+		wrote++
+	}
+	if wrote > 0 {
+		log.Printf("cache: wrote back %d fresh cells", wrote)
+	}
 }
 
 func usage() {
@@ -269,6 +353,11 @@ Modes:
   bmlsweep -resume j.jsonl [-spawn N] <grid flags>
       load a journal, compute the missing cell set against the
       re-enumerated grid, re-dispatch only those cells, merge, report.
+
+Any mode takes -cache DIR|URL: cells whose canonical ID is already in the
+content-addressed result cache are served from it (shown as cached in the
+report), only the rest are computed, and merged successes are written
+back — so re-running a tweaked grid only pays for what the tweak changed.
 
 Exit codes:
   %d  grid complete: every expected cell merged and validated

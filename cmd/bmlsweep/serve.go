@@ -82,7 +82,7 @@ func openJournal(path string) (primed []sim.CellRecord, w io.Writer, closeFn fun
 // completes (exit 0), the -wait budget elapses, a signal arrives, or
 // spawned workers finish with cells still pending after all re-dispatch
 // rounds (exit 1).
-func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, bin, dir string, grid gridFlags, wait time.Duration, redispatch int, csv bool) int {
+func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, bin, dir string, grid gridFlags, wait time.Duration, redispatch int, csv bool, cache sim.CellCache, cacheSpec string) int {
 	var journalW io.Writer
 	var primed []sim.CellRecord
 	if journalPath != "" {
@@ -99,6 +99,7 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 		}
 		log.Printf("journal %s: resumed %d records covering %d cells", journalPath, len(primed), n)
 	}
+	primeFromCache(ing, cache)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -118,14 +119,14 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 	// coordinator that exited the moment the select loop saw Done.
 	var workersDone chan struct{}
 	if spawnN > 0 && ing.Status().Complete {
-		log.Printf("journal already covers the grid; not spawning workers")
+		log.Printf("journal and cache already cover the grid; not spawning workers")
 		spawnN = 0
 	}
 	if spawnN > 0 {
 		workersDone = make(chan struct{})
 		go func() {
 			defer close(workersDone)
-			spawnWorkers(spawnN, bin, dir, grid, []string{"-sink", sinkURL}, false)
+			spawnWorkers(spawnN, bin, dir, grid, append([]string{"-sink", sinkURL}, cacheArgs(cacheSpec)...), false)
 			for round := 1; round <= redispatch; round++ {
 				pending := ing.Pending()
 				if len(pending) == 0 {
@@ -133,7 +134,7 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 				}
 				log.Printf("re-dispatch round %d/%d: %d pending cells", round, redispatch, len(pending))
 				pf := writePendingFile(pending)
-				spawnWorkers(1, bin, "", grid, []string{"-sink", sinkURL, "-only", pf}, false)
+				spawnWorkers(1, bin, "", grid, append([]string{"-sink", sinkURL, "-only", pf}, cacheArgs(cacheSpec)...), false)
 				os.Remove(pf)
 			}
 		}()
@@ -159,7 +160,7 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			srv.Shutdown(shutdownCtx)
 			cancel()
-			return finishServe(ing, jobs, csv)
+			return finishServe(ing, jobs, csv, cache)
 		case <-workersDone:
 			// Both channels may be ready; prefer the completion path.
 			if ing.Status().Complete {
@@ -190,7 +191,7 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 }
 
 // finishServe merges the received records and renders the report.
-func finishServe(ing *sim.Ingest, jobs []sim.SweepJob, csv bool) int {
+func finishServe(ing *sim.Ingest, jobs []sim.SweepJob, csv bool, cache sim.CellCache) int {
 	cells, stats, err := sim.MergeCells(jobs, ing.Records())
 	if err != nil {
 		printMergeDiagnostics(stats)
@@ -199,14 +200,45 @@ func finishServe(ing *sim.Ingest, jobs []sim.SweepJob, csv bool) int {
 	}
 	log.Printf("grid complete: %d cells merged and validated (%d duplicates deduplicated)",
 		len(cells), stats.Duplicates)
+	writeBackCache(cache, cells)
 	return render(cells, csv)
+}
+
+// primeFromCache serves every still-pending cell the cache already holds
+// straight into the ingest state — journaled like any received record (so
+// a later -resume replays them from the journal without even needing the
+// cache) and marked Cached for the hit accounting in status lines and
+// tables. Runs before any worker is spawned, so a fully cached grid
+// spawns nothing at all.
+func primeFromCache(ing *sim.Ingest, cache sim.CellCache) {
+	if cache == nil {
+		return
+	}
+	hits := 0
+	for _, id := range ing.Pending() {
+		rec, ok, err := cache.Get(id)
+		if err != nil {
+			die(exitUsage, "%v", err)
+		}
+		if !ok {
+			continue
+		}
+		rec.Cached = true
+		if err := ing.Add(rec); err != nil {
+			die(exitUsage, "cache prime: %v", err)
+		}
+		hits++
+	}
+	if hits > 0 {
+		log.Printf("cache: primed %d pending cells from cache", hits)
+	}
 }
 
 // runResume is the -resume mode: prime the pending set from the journal,
 // re-dispatch only the missing cells to local workers (appending their
 // records back to the journal, so repeated resumes converge), then merge
 // and report.
-func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir string, grid gridFlags, csv bool) int {
+func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir string, grid gridFlags, csv bool, cache sim.CellCache, cacheSpec string) int {
 	primed, journalW, closeJournal := openJournal(journalPath)
 	defer closeJournal()
 	ing := sim.NewIngest(jobs, journalW)
@@ -216,6 +248,7 @@ func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir str
 	}
 	st := ing.Status()
 	log.Printf("journal %s: %d records cover %d/%d cells", journalPath, len(primed), st.Received, st.Total)
+	primeFromCache(ing, cache)
 
 	if pending := ing.Pending(); len(pending) > 0 {
 		if spawnN <= 0 {
@@ -224,7 +257,7 @@ func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir str
 		log.Printf("re-dispatching %d pending cells to %d workers", len(pending), spawnN)
 		pf := writePendingFile(pending)
 		defer os.Remove(pf)
-		files := spawnWorkers(spawnN, bin, dir, grid, []string{"-only", pf}, true)
+		files := spawnWorkers(spawnN, bin, dir, grid, append([]string{"-only", pf}, cacheArgs(cacheSpec)...), true)
 		for _, name := range files {
 			f, err := os.Open(name)
 			if err != nil {
@@ -253,5 +286,6 @@ func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir str
 	}
 	log.Printf("resume complete: %d cells merged and validated (%d duplicates deduplicated)",
 		len(cells), stats.Duplicates)
+	writeBackCache(cache, cells)
 	return render(cells, csv)
 }

@@ -689,6 +689,166 @@ func TestCmdBMLSimConfigsValidation(t *testing.T) {
 	}
 }
 
+// runCmdStdout runs a command asserting exit 0 and returns stdout alone —
+// for byte-comparing reports without interleaved stderr log lines.
+func runCmdStdout(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(cmdBinary(t, name), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", name, args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestCmdWarmCacheDifferential is the tentpole acceptance path: an
+// ablation grid run cold into a content-addressed cache, then re-run warm
+// — the warm pass must execute zero simulation jobs and the merged CSV
+// must be byte-identical to the cold run's; a one-config edit must then
+// recompute only the edited config's cells.
+func TestCmdWarmCacheDifferential(t *testing.T) {
+	dir := t.TempDir()
+	trA := filepath.Join(dir, "trace-a.txt")
+	trB := filepath.Join(dir, "trace-b.txt")
+	runCmd(t, "bmltrace", "-days", "1", "-seed", "11", "-out", trA)
+	runCmd(t, "bmltrace", "-days", "1", "-seed", "22", "-peak", "3000", "-out", trB)
+	gridArgs := []string{"-quantize", "600",
+		"-trace", trA, "-trace", trB, "-fleets", "0,50",
+		"-configs", "default,name=h13:headroom=1.3,name=oa:overhead-aware=true"}
+	cacheDir := filepath.Join(dir, "cells.cache")
+	bin := cmdBinary(t, "bmlsim")
+
+	// Cold: 2 traces × 2 fleets × (3 bounds + 3 configs) = 24 cells, all
+	// computed, all written back to the cache.
+	spawnArgs := func(outDir string) []string {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return append([]string{"-spawn", "2", "-bin", bin, "-dir", outDir, "-cache", cacheDir, "-csv"}, gridArgs...)
+	}
+	cold := runCmdStdout(t, "bmlsweep", spawnArgs(filepath.Join(dir, "cold"))...)
+	if n := strings.Count(cold, "\n"); n != 25 {
+		t.Fatalf("cold CSV has %d lines, want 25 (header + 24 cells):\n%s", n, cold)
+	}
+
+	// Warm, via the worker directly: every cell served from cache, zero
+	// computed — the line the CI warm-pass gate greps.
+	out := runCmd(t, "bmlsim", append([]string{"-sweep", "-cache", cacheDir, "-out", filepath.Join(dir, "warm.jsonl")}, gridArgs...)...)
+	if !strings.Contains(out, "cache served 24 cells, computed 0") {
+		t.Errorf("warm worker pass did not serve everything from cache:\n%s", out)
+	}
+
+	// Warm, end to end: byte-identical merged CSV (cached records replay
+	// verbatim, wall_ms included), nothing recomputed.
+	warm := runCmdStdout(t, "bmlsweep", spawnArgs(filepath.Join(dir, "warm"))...)
+	if warm != cold {
+		t.Errorf("warm merged CSV differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	// The table view accounts for the hits.
+	tableDir := filepath.Join(dir, "warm-table")
+	if err := os.MkdirAll(tableDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	table := runCmdStdout(t, "bmlsweep", append([]string{"-spawn", "2", "-bin", bin,
+		"-dir", tableDir, "-cache", cacheDir}, gridArgs...)...)
+	if !strings.Contains(table, "cache: 24 of 24 cells served from cache, 0 computed") {
+		t.Errorf("warm table missing cache summary:\n%s", table)
+	}
+
+	// Edit one config: only its cells (2 traces × 2 fleets × 1 config = 4)
+	// recompute; the bounds and the untouched configs stay cached.
+	edited := append([]string{}, gridArgs...)
+	edited[len(edited)-1] = "default,name=h13:headroom=1.35,name=oa:overhead-aware=true"
+	out = runCmd(t, "bmlsim", append([]string{"-sweep", "-cache", cacheDir, "-out", filepath.Join(dir, "edit.jsonl")}, edited...)...)
+	if !strings.Contains(out, "cache served 20 cells, computed 4") {
+		t.Errorf("config edit did not recompute exactly the edited config's cells:\n%s", out)
+	}
+}
+
+// TestCmdBMLSweepDoubleResume pins the resume-journal dedupe contract: a
+// journal that already carries a duplicated record resumes cleanly, the
+// re-dispatch appends only the genuinely missing cells, and a second
+// resume appends nothing at all — repeated replays converge instead of
+// folding duplicate successes into the journal.
+func TestCmdBMLSweepDoubleResume(t *testing.T) {
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "s0.jsonl")
+	runCmd(t, "bmlsim", append([]string{"-sweep", "-shard", "0/2", "-out", s0}, sweepGridArgs...)...)
+	raw, err := os.ReadFile(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSpace(string(raw))+"\n", "\n")
+	// The first record appears twice: what a worker retry can leave behind
+	// after an ack lost in flight.
+	journal := filepath.Join(dir, "journal.jsonl")
+	if err := os.WriteFile(journal, []byte(lines[0]+strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCmdExit(t, 0, "bmlsweep", append([]string{
+		"-resume", journal, "-bin", cmdBinary(t, "bmlsim")}, sweepGridArgs...)...)
+	if !strings.Contains(out, "re-dispatching") {
+		t.Errorf("first resume did not re-dispatch the missing shard:\n%s", out)
+	}
+	afterFirst, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := cmdTestGrid(t)
+	records, err := sim.ReadCellRecords(strings.NewReader(string(afterFirst)))
+	if err != nil {
+		t.Fatalf("journal after resume unparsable: %v", err)
+	}
+	// The seeded duplicate is still on disk (append-only journal), but the
+	// resume added exactly the missing cells — not a second copy of what
+	// was already primed.
+	if want := len(jobs) + 1; len(records) != want {
+		t.Errorf("journal holds %d records after resume, want %d (grid + the seeded duplicate)", len(records), want)
+	}
+	if _, stats, err := sim.MergeCells(jobs, records); err != nil {
+		t.Fatalf("journal after resume does not merge: %v", err)
+	} else if stats.Duplicates != 1 {
+		t.Errorf("merge saw %d duplicates, want exactly the seeded 1", stats.Duplicates)
+	}
+
+	// Second resume: grid already covered — nothing re-dispatched, nothing
+	// appended, byte-identical journal.
+	out = runCmdExit(t, 0, "bmlsweep", append([]string{"-resume", journal}, sweepGridArgs...)...)
+	if strings.Contains(out, "re-dispatching") {
+		t.Errorf("second resume re-dispatched a complete grid:\n%s", out)
+	}
+	afterSecond, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(afterSecond) != string(afterFirst) {
+		t.Errorf("second resume changed the journal: %d bytes -> %d bytes", len(afterFirst), len(afterSecond))
+	}
+}
+
+// TestCmdTraceBasenameCollision pins the repeated -trace contract: two
+// trace files sharing a base filename would silently collapse to one
+// trace-axis name, so both commands must refuse, naming both paths.
+func TestCmdTraceBasenameCollision(t *testing.T) {
+	pathA := filepath.Join("siteA", "day.txt")
+	pathB := filepath.Join("siteB", "day.txt")
+	out := runCmdExit(t, 2, "bmlsweep", "-spawn", "1", "-trace", pathA, "-trace", pathB, "-fleets", "0")
+	for _, want := range []string{pathA, pathB, `"day.txt"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bmlsweep collision error missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmdErr(t, "bmlsim", "-sweep", "-trace", pathA, "-trace", pathB)
+	for _, want := range []string{pathA, pathB, `"day.txt"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bmlsim collision error missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdBMLSimAblationFlags(t *testing.T) {
 	out := runCmd(t, "bmlsim", "-days", "2", "-first", "1", "-last", "2",
 		"-overhead-aware", "-predictor", "pattern", "-critical")

@@ -30,6 +30,7 @@ func SweepTable(w io.Writer, cells []sim.CellRecord) error {
 	headers := []string{"cell", "scenario", "trace", "config", "scale", "total_kWh", "avail_%", "decisions", "ons", "offs", "wall_ms"}
 	rows := make([][]string, 0, len(cells))
 	var totalJ, wallMS float64
+	cached := 0
 	var cfgOrder []string
 	cfgCells := map[string]int{}
 	cfgJ := map[string]float64{}
@@ -49,6 +50,9 @@ func SweepTable(w io.Writer, cells []sim.CellRecord) error {
 		})
 		totalJ += c.TotalJ
 		wallMS += c.WallMS
+		if c.Cached {
+			cached++
+		}
 		if c.Config != "" {
 			if _, seen := cfgCells[c.Config]; !seen {
 				cfgOrder = append(cfgOrder, c.Config)
@@ -63,6 +67,13 @@ func SweepTable(w io.Writer, cells []sim.CellRecord) error {
 	if _, err := fmt.Fprintf(w, "%d cells, %.2f kWh total, %.1f ms simulated wall time\n",
 		len(cells), totalJ/3.6e6, wallMS); err != nil {
 		return err
+	}
+	if cached > 0 {
+		// Only printed on warm runs, so cold-run output is unchanged.
+		if _, err := fmt.Fprintf(w, "cache: %d of %d cells served from cache, %d computed\n",
+			cached, len(cells), len(cells)-cached); err != nil {
+			return err
+		}
 	}
 	if len(cfgOrder) > 1 {
 		for _, name := range cfgOrder {
@@ -80,8 +91,14 @@ func SweepTable(w io.Writer, cells []sim.CellRecord) error {
 // as the operator-facing view of a networked sweep (bmlsweep -serve
 // progress lines, and the diagnostics printed when a run ends incomplete).
 func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
-	_, err := fmt.Fprintf(w, "sweep: %d/%d cells received (%d pending, %d failed, %d duplicates, %d foreign)\n",
-		st.Received, st.Total, st.Pending, st.Failed, st.Duplicates, st.Unknown)
+	cached := ""
+	if st.Cached > 0 {
+		// Hit accounting only appears on warm runs, keeping cold-run
+		// progress lines (and everything that greps them) unchanged.
+		cached = fmt.Sprintf(", %d from cache", st.Cached)
+	}
+	_, err := fmt.Fprintf(w, "sweep: %d/%d cells received (%d pending, %d failed, %d duplicates, %d foreign%s)\n",
+		st.Received, st.Total, st.Pending, st.Failed, st.Duplicates, st.Unknown, cached)
 	if err != nil {
 		return err
 	}

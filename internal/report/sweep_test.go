@@ -40,6 +40,25 @@ func TestSweepTable(t *testing.T) {
 	if strings.Contains(out, "config default:") {
 		t.Errorf("single-config grid printed per-config totals:\n%s", out)
 	}
+	// A cold run (no cached cells) renders no cache line at all.
+	if strings.Contains(out, "cache:") {
+		t.Errorf("cold run printed a cache summary:\n%s", out)
+	}
+}
+
+// TestSweepTableCacheSummary pins the warm-run view: when any merged cell
+// was served from a result cache, the totals are followed by a hit/miss
+// summary line; cold runs (the test above) never print it.
+func TestSweepTableCacheSummary(t *testing.T) {
+	cells := sweepCells()
+	cells[1].Cached = true
+	var sb strings.Builder
+	if err := SweepTable(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	if want := "cache: 1 of 2 cells served from cache, 1 computed"; !strings.Contains(sb.String(), want) {
+		t.Errorf("warm run missing %q:\n%s", want, sb.String())
+	}
 }
 
 // TestSweepTablePerConfigTotals pins the ablation view: a grid whose cells
@@ -119,5 +138,19 @@ func TestSweepStatus(t *testing.T) {
 	// The truncated tail is not printed.
 	if strings.Contains(out, pending[10]) {
 		t.Errorf("status printed past the truncation point:\n%s", out)
+	}
+	// Cold runs carry no cache accounting.
+	if strings.Contains(out, "from cache") {
+		t.Errorf("cold status line mentioned the cache:\n%s", out)
+	}
+
+	// Warm runs append the hit count to the summary parenthetical.
+	st.Cached = 5
+	sb.Reset()
+	if err := SweepStatus(&sb, st, pending); err != nil {
+		t.Fatal(err)
+	}
+	if want := "3 duplicates, 1 foreign, 5 from cache)"; !strings.Contains(sb.String(), want) {
+		t.Errorf("warm status missing %q:\n%s", want, sb.String())
 	}
 }

@@ -23,9 +23,12 @@ import (
 //
 // The HTTP surface is schema-versioned under /v1/:
 //
-//	POST /v1/cells   JSONL CellRecords (same lines a -out file holds)
-//	GET  /v1/pending outstanding canonical cell IDs, one per line
-//	GET  /v1/status  IngestStatus as JSON
+//	POST /v1/cells           JSONL CellRecords (same lines a -out file holds)
+//	GET  /v1/cells?id=<id>   the journaled success for one canonical cell ID
+//	                         (JSONL, 404 on miss) — the coordinator as a
+//	                         content-addressed cache server (see HTTPCache)
+//	GET  /v1/pending         outstanding canonical cell IDs, one per line
+//	GET  /v1/status          IngestStatus as JSON
 //
 // Dedup mirrors MergeCells exactly: the first successful record for a cell
 // wins (later re-runs with different wall times are counted as duplicates
@@ -44,13 +47,14 @@ type RemoteStatus struct {
 
 // IngestStatus is the coordinator's progress snapshot (GET /v1/status).
 type IngestStatus struct {
-	Total      int  `json:"total"`      // cells in the expected grid
-	Received   int  `json:"received"`   // cells with a successful record
-	Pending    int  `json:"pending"`    // Total - Received
-	Failed     int  `json:"failed"`     // cells whose only records carry errors (still pending)
-	Duplicates int  `json:"duplicates"` // records dropped by first-success-wins dedup
-	Unknown    int  `json:"unknown"`    // records foreign to the expected grid
-	Complete   bool `json:"complete"`   // Pending == 0
+	Total      int  `json:"total"`            // cells in the expected grid
+	Received   int  `json:"received"`         // cells with a successful record
+	Pending    int  `json:"pending"`          // Total - Received
+	Failed     int  `json:"failed"`           // cells whose only records carry errors (still pending)
+	Duplicates int  `json:"duplicates"`       // records dropped by first-success-wins dedup
+	Unknown    int  `json:"unknown"`          // records foreign to the expected grid
+	Cached     int  `json:"cached,omitempty"` // accepted successes served from a result cache, not simulated
+	Complete   bool `json:"complete"`         // Pending == 0
 
 	// Remotes lists every worker that has POSTed cells, sorted by name,
 	// with its last-ingest age — the liveness view for spotting stalled
@@ -79,6 +83,7 @@ type Ingest struct {
 	failed   int                   // cells whose only records carry errors
 	dups     int
 	unknown  int
+	cached   int // accepted successes marked Cached (served from a result cache)
 	journal  io.Writer
 	done     chan struct{}
 	closed   bool
@@ -146,6 +151,14 @@ func (g *Ingest) Prime(recs []CellRecord) (int, error) {
 // is reported through *journalErr and the record is NOT folded in, so the
 // client retries and no acknowledged record is ever missing from the
 // journal. Returns accepted (state changed), duplicate, unknown.
+//
+// Ordering is load-bearing on the journal-failure path: the early return
+// fires BEFORE any counter (received/failed) moves or g.got is touched, so
+// a record whose journal write failed is invisible everywhere state is
+// derived from those fields — /v1/status reports it pending, /v1/pending
+// still lists its cell for re-dispatch, and Done cannot fire on its
+// account. The 5xx the caller sends makes the client retry the batch, and
+// the retry journals-then-folds as if the failed attempt never happened.
 func (g *Ingest) addLocked(rec CellRecord, journalErr *error) (accepted, duplicate, unknown bool) {
 	if !g.want[rec.ID] {
 		g.unknown++
@@ -166,6 +179,9 @@ func (g *Ingest) addLocked(rec CellRecord, journalErr *error) (accepted, duplica
 	switch {
 	case rec.Err == "":
 		g.received++
+		if rec.Cached {
+			g.cached++
+		}
 		if seen { // success replacing a failure
 			g.failed--
 		}
@@ -231,6 +247,7 @@ func (g *Ingest) Status() IngestStatus {
 		Failed:     g.failed,
 		Duplicates: g.dups,
 		Unknown:    g.unknown,
+		Cached:     g.cached,
 	}
 	st.Pending = st.Total - st.Received
 	st.Complete = st.Pending == 0
@@ -267,11 +284,14 @@ func (g *Ingest) Records() []CellRecord {
 func (g *Ingest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/v1/cells":
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST JSONL cell records to /v1/cells", http.StatusMethodNotAllowed)
-			return
+		switch r.Method {
+		case http.MethodPost:
+			g.handleCells(w, r)
+		case http.MethodGet:
+			g.handleCellGet(w, r)
+		default:
+			http.Error(w, "POST JSONL cell records to /v1/cells, or GET /v1/cells?id=<cell-id>", http.StatusMethodNotAllowed)
 		}
-		g.handleCells(w, r)
 	case "/v1/pending":
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET /v1/pending", http.StatusMethodNotAllowed)
@@ -292,6 +312,31 @@ func (g *Ingest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown path (this ingest API is schema-versioned: POST /v1/cells, GET /v1/pending, GET /v1/status)",
 			http.StatusNotFound)
 	}
+}
+
+// handleCellGet serves the coordinator's journaled success for one
+// canonical cell ID — the server half of HTTPCache. Everything it can
+// serve has already been journaled (records are journaled before they are
+// acknowledged), so a hit is as durable as the coordinator's own resume
+// state. Failures and uncovered cells are both 404: neither is a result a
+// cache may replay. The Cached flag is stripped so the served record is
+// the canonical result, however this coordinator obtained it.
+func (g *Ingest) handleCellGet(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "GET /v1/cells needs ?id=<canonical cell ID>", http.StatusBadRequest)
+		return
+	}
+	g.mu.Lock()
+	rec, ok := g.got[id]
+	g.mu.Unlock()
+	if !ok || rec.Err != "" {
+		http.Error(w, "no successful record for cell "+id, http.StatusNotFound)
+		return
+	}
+	rec.Cached = false
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = WriteCellRecord(w, rec) // client disconnect mid-write; nothing to recover
 }
 
 // WorkerHeader identifies the posting worker for the per-remote liveness

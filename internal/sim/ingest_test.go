@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"reflect"
 	"strings"
 	"testing"
@@ -208,12 +209,23 @@ func TestIngestRoutesAndMethods(t *testing.T) {
 	srv := httptest.NewServer(ing)
 	defer srv.Close()
 
+	// GET /v1/cells is the cache-server read path: it needs an id.
 	if resp, err := http.Get(srv.URL + "/v1/cells"); err != nil {
 		t.Fatal(err)
 	} else {
-		readAll(resp)
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("GET /v1/cells = %s, want 405", resp.Status)
+		body, _ := readAll(resp)
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "?id=") {
+			t.Errorf("GET /v1/cells = %s (%s), want 400 naming ?id=", resp.Status, strings.TrimSpace(body))
+		}
+	}
+	if resp, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/cells", nil); err != nil {
+		t.Fatal(err)
+	} else if res, err := http.DefaultClient.Do(resp); err != nil {
+		t.Fatal(err)
+	} else {
+		readAll(res)
+		if res.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("DELETE /v1/cells = %s, want 405", res.Status)
 		}
 	}
 	if resp, err := http.Post(srv.URL+"/v1/status", "text/plain", nil); err != nil {
@@ -231,6 +243,68 @@ func TestIngestRoutesAndMethods(t *testing.T) {
 	body, _ := readAll(resp)
 	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "schema-versioned") {
 		t.Errorf("unknown path = %s (%s), want 404 naming the /v1/ API", resp.Status, strings.TrimSpace(body))
+	}
+}
+
+// TestIngestServesCellsByID pins the cache-server read path: GET
+// /v1/cells?id= serves exactly the journaled success (Cached stripped),
+// 404s cells that are uncovered, failed, or foreign, and a success
+// healing a failure flips the same URL from 404 to 200.
+func TestIngestServesCellsByID(t *testing.T) {
+	ing, jobs, recs := ingestFixture(t, nil)
+	srv := httptest.NewServer(ing)
+	defer srv.Close()
+
+	ids := CellIDs(jobs)
+	get := func(id string) (int, []CellRecord) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/cells?id=" + url.QueryEscape(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, nil
+		}
+		got, err := ReadCellRecords(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, got
+	}
+
+	// Uncovered cell: miss.
+	if code, _ := get(ids[0]); code != http.StatusNotFound {
+		t.Fatalf("GET uncovered cell = %d, want 404", code)
+	}
+
+	// Failed record: still a miss — a failure is not a cacheable result.
+	failed := recs[0]
+	failed.Err = "boom"
+	postCells(t, srv, failed)
+	if code, _ := get(ids[0]); code != http.StatusNotFound {
+		t.Fatalf("GET failed cell = %d, want 404", code)
+	}
+
+	// Success (arriving marked cached, as a warm worker would stream it):
+	// served verbatim with the transport flag stripped.
+	healed := recs[0]
+	healed.Cached = true
+	postCells(t, srv, healed)
+	code, got := get(ids[0])
+	if code != http.StatusOK || len(got) != 1 {
+		t.Fatalf("GET healed cell = %d with %d records, want 200 with 1", code, len(got))
+	}
+	want := recs[0]
+	want.Cached = false
+	if !reflect.DeepEqual(got[0], want) {
+		t.Errorf("served record differs from posted success:\ngot  %+v\nwant %+v", got[0], want)
+	}
+
+	// Foreign ID: miss, not an error.
+	if code, _ := get("bml|alien|fleet=1|trace=0000000000000000:0"); code != http.StatusNotFound {
+		t.Fatalf("GET foreign cell = %d, want 404", code)
 	}
 }
 
@@ -268,6 +342,21 @@ func TestIngestJournalFailureKeepsRecordRetryable(t *testing.T) {
 	}
 	if st := ing.Status(); st.Received != 0 {
 		t.Fatalf("unjournaled record folded in: %+v", st)
+	}
+	// The unjournaled cell must still be re-dispatchable: /v1/pending lists
+	// it (and every other cell) — a record the journal never saw cannot
+	// have left the pending set, or a crash before the retry would lose it.
+	presp, err := http.Get(srv.URL + "/v1/pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(presp)
+	pending := strings.Fields(raw)
+	if len(pending) != len(jobs) {
+		t.Fatalf("/v1/pending lists %d cells after journal failure, want all %d", len(pending), len(jobs))
+	}
+	if pending[0] != recs[0].ID {
+		t.Fatalf("/v1/pending missing the unjournaled cell %s:\n%s", recs[0].ID, raw)
 	}
 
 	// The client's retry succeeds once the journal recovers.

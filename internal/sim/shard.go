@@ -175,8 +175,20 @@ type TraceAxis struct {
 // coordinator (both call this; different paths to the same-named,
 // same-content file still enumerate the same grid). Name validity
 // (uniqueness, ID-safe characters) is Grid's job, so it is enforced in
-// exactly one place.
+// exactly one place — except base-filename collisions, which only this
+// function can explain: two distinct paths like a/day.csv and b/day.csv
+// would both become the axis name "day.csv", and Grid's "duplicate trace
+// axis name" error could not tell the operator which files collided. The
+// collision is rejected here, naming both full paths.
 func LoadTraceAxes(paths []string, quantize int) ([]TraceAxis, error) {
+	firstPath := make(map[string]string, len(paths))
+	for _, path := range paths {
+		base := filepath.Base(path)
+		if first, dup := firstPath[base]; dup {
+			return nil, fmt.Errorf("sim: trace paths %s and %s share the base filename %q, which names the trace axis — the grid cannot tell their cells apart; rename one file so every -trace has a distinct filename", first, path, base)
+		}
+		firstPath[base] = path
+	}
 	var out []TraceAxis
 	for _, path := range paths {
 		f, err := os.Open(path)

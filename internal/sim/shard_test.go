@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
@@ -373,6 +374,33 @@ func TestParseFleetsCanonicalization(t *testing.T) {
 		if _, err := ParseFleets(bad); err == nil {
 			t.Errorf("ParseFleets(%q) unexpectedly succeeded", bad)
 		}
+	}
+}
+
+// TestLoadTraceAxesRejectsBaseFilenameCollision pins the satellite fix:
+// two -trace paths whose distinct files share a base filename would both
+// name the same trace axis, and Grid's generic "duplicate trace axis
+// name" error cannot say which files collided. LoadTraceAxes rejects the
+// collision up front, naming both full paths — before any file I/O, so
+// the error is about the collision, not about a missing file.
+func TestLoadTraceAxesRejectsBaseFilenameCollision(t *testing.T) {
+	_, err := LoadTraceAxes([]string{"a/day.csv", "b/day.csv"}, 0)
+	if err == nil {
+		t.Fatal("base-filename collision unexpectedly accepted")
+	}
+	for _, want := range []string{"a/day.csv", "b/day.csv", `"day.csv"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("collision error %q does not name %s", err, want)
+		}
+	}
+	// The same path twice is the same collision.
+	if _, err := LoadTraceAxes([]string{"day.csv", "day.csv"}, 0); err == nil {
+		t.Error("repeated identical path unexpectedly accepted")
+	}
+	// Distinct basenames proceed to real file I/O (and fail there, on
+	// these nonexistent fixtures, with an open error — not the collision).
+	if _, err := LoadTraceAxes([]string{"a/one.csv", "b/two.csv"}, 0); err == nil || strings.Contains(err.Error(), "base filename") {
+		t.Errorf("distinct basenames: err = %v, want a file-open error", err)
 	}
 }
 

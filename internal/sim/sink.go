@@ -148,33 +148,43 @@ func WithSinkRetries(retries int, backoff time.Duration) SinkOption {
 	}
 }
 
-// NewHTTPSink builds a sink for the coordinator at base (e.g.
-// "http://127.0.0.1:8080"). The ingest path is schema-versioned: a base
-// without a path gets "/v1/cells" appended; a base that already names a
-// /v1/ path is used as given.
-func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
+// cellsEndpoint resolves a coordinator base URL to its schema-versioned
+// /v1/cells endpoint: a base without a path gets "/v1/cells" appended; a
+// base that already names a /v1/ path is used as given. Shared by
+// HTTPSink (worker → coordinator streaming) and HTTPCache (coordinator as
+// cache server), so both accept the same -sink/-cache URL spellings.
+func cellsEndpoint(base string) (string, error) {
 	u, err := url.Parse(base)
 	if err != nil {
-		return nil, fmt.Errorf("sim: sink URL %q: %w", base, err)
+		return "", fmt.Errorf("sim: sink URL %q: %w", base, err)
 	}
 	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("sim: sink URL %q: want http:// or https://", base)
+		return "", fmt.Errorf("sim: sink URL %q: want http:// or https://", base)
 	}
 	if u.Host == "" {
-		return nil, fmt.Errorf("sim: sink URL %q: missing host", base)
+		return "", fmt.Errorf("sim: sink URL %q: missing host", base)
 	}
 	trimmed := strings.TrimRight(base, "/")
-	var endpoint string
 	switch {
 	case strings.HasSuffix(trimmed, "/v1"):
 		// ".../v1" or ".../v1/" name the API root: complete the path.
-		endpoint = trimmed + "/cells"
+		return trimmed + "/cells", nil
 	case strings.Contains(u.Path, "/v1/"):
 		// An explicit endpoint path is used as given (minus a trailing
 		// slash the exact-match router would 404).
-		endpoint = trimmed
+		return trimmed, nil
 	default:
-		endpoint = trimmed + "/v1/cells"
+		return trimmed + "/v1/cells", nil
+	}
+}
+
+// NewHTTPSink builds a sink for the coordinator at base (e.g.
+// "http://127.0.0.1:8080"). The ingest path is schema-versioned, resolved
+// by cellsEndpoint.
+func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
+	endpoint, err := cellsEndpoint(base)
+	if err != nil {
+		return nil, err
 	}
 	host, _ := os.Hostname()
 	s := &HTTPSink{
@@ -278,16 +288,9 @@ func (s *HTTPSink) post(payload []byte) error {
 // SweepStreamTo runs jobs through SweepStream, emitting every completed
 // cell into sink as a CellRecord, then closes (flushes) the sink. The
 // first stream or emit error is returned; Close runs regardless so
-// buffered records are not silently dropped on cancellation.
+// buffered records are not silently dropped on cancellation. It is
+// SweepStreamToCache without a cache.
 func SweepStreamTo(jobs []SweepJob, workers int, sink CellSink) error {
-	if sink == nil {
-		return errors.New("sim: SweepStreamTo needs a sink")
-	}
-	err := SweepStream(jobs, workers, func(r SweepResult) error {
-		return sink.Emit(NewCellRecord(r))
-	})
-	if cerr := sink.Close(); err == nil {
-		err = cerr
-	}
+	_, err := SweepStreamToCache(jobs, workers, sink, nil)
 	return err
 }

@@ -368,6 +368,109 @@ func TestNetworkKillResumeMatchesSweep(t *testing.T) {
 	}
 }
 
+// TestHTTPSinkRetryAfterDroppedResponseIsHarmless pins the half-written
+// batch case: the coordinator receives and journals a full POSTed batch,
+// but the connection dies before the ack reaches the worker. The sink
+// sees a network error and re-POSTs the whole batch — a double-POST of
+// records the coordinator already journaled. First-success-wins dedup
+// must make the retry a no-op: duplicates are counted but never journaled
+// and never change state, so the merge equals a clean run and the journal
+// still holds exactly one line per cell.
+func TestHTTPSinkRetryAfterDroppedResponseIsHarmless(t *testing.T) {
+	tr := shardTestTrace(t, 1)
+	planner := shardTestPlanner(t)
+	jobs, err := FleetGrid(tr, planner, BMLConfig{}, []int{0, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The clean reference: one in-process sweep.
+	want := make(map[string]CellRecord, len(jobs))
+	for _, r := range Sweep(jobs, 0) {
+		if r.Err != nil {
+			t.Fatalf("reference sweep cell %s: %v", r.Job.Name, r.Err)
+		}
+		rec := NewCellRecord(r)
+		want[rec.ID] = rec
+	}
+
+	var journal bytes.Buffer
+	ing := NewIngest(jobs, &journal)
+	// The flaky front end: the first two POSTs are fully processed by the
+	// coordinator (journaled, folded in) but the connection is severed
+	// before any response bytes go out — the worker-visible failure mode of
+	// a coordinator-side ack lost in flight.
+	var drops atomic.Int32
+	drops.Store(2)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && drops.Add(-1) >= 0 {
+			rr := httptest.NewRecorder()
+			ing.ServeHTTP(rr, r)
+			if rr.Code != http.StatusOK {
+				t.Errorf("coordinator failed the dropped batch: %d %s", rr.Code, rr.Body)
+			}
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		ing.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	s := instantSink(t, srv.URL, &slept, WithSinkBatch(3), WithSinkRetries(5, time.Millisecond))
+	if err := SweepStreamTo(jobs, 2, s); err != nil {
+		t.Fatalf("stream through flaky coordinator: %v", err)
+	}
+
+	st := ing.Status()
+	if !st.Complete {
+		t.Fatalf("grid incomplete after flaky run: %+v", st)
+	}
+	if st.Duplicates == 0 {
+		t.Fatal("no duplicates recorded — the dropped-ack double-POST never happened, test proves nothing")
+	}
+	if len(slept) == 0 {
+		t.Fatal("sink never retried — connection drops were not exercised")
+	}
+
+	// Merge equals the clean run, cell for cell.
+	merged, stats, err := MergeCells(jobs, ing.Records())
+	if err != nil {
+		t.Fatalf("merge: %v (stats %+v)", err, stats)
+	}
+	for _, got := range merged {
+		w := want[got.ID]
+		if math.Abs(got.TotalJ-w.TotalJ) > 1e-6 {
+			t.Errorf("%s: TotalJ %v vs clean %v", got.ID, got.TotalJ, w.TotalJ)
+		}
+		if got.Decisions != w.Decisions || got.SwitchOns != w.SwitchOns ||
+			got.SwitchOffs != w.SwitchOffs || got.Skipped != w.Skipped {
+			t.Errorf("%s: counters diverged from clean run", got.ID)
+		}
+	}
+
+	// The journal never saw the duplicates: one line per cell, and a
+	// replay rebuilds a complete coordinator.
+	replayed, err := ReadCellRecords(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(jobs) {
+		t.Fatalf("journal holds %d records, want %d (duplicates must not be journaled)", len(replayed), len(jobs))
+	}
+	fresh := NewIngest(jobs, nil)
+	if _, err := fresh.Prime(replayed); err != nil {
+		t.Fatal(err)
+	}
+	if st := fresh.Status(); !st.Complete {
+		t.Errorf("journal replay incomplete: %+v", st)
+	}
+}
+
 func TestSweepStreamToFlushesOnCancel(t *testing.T) {
 	tr := shardTestTrace(t, 1)
 	planner := shardTestPlanner(t)

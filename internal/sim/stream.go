@@ -68,6 +68,14 @@ type CellRecord struct {
 
 	WallMS float64 `json:"wall_ms"`
 	Err    string  `json:"error,omitempty"`
+
+	// Cached marks a record that a particular run served from a result
+	// cache instead of simulating (see CellCache). It is transport
+	// metadata, not part of the result: caches store records with the flag
+	// stripped, merges ignore it, and reports only use it for hit-rate
+	// accounting — so a warm run's merged output is byte-identical to the
+	// cold run that populated the cache.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // NewCellRecord flattens a SweepResult into its wire form.

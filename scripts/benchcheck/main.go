@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"regexp"
@@ -147,11 +148,14 @@ func main() {
 
 // parseBenchOutput extracts "BenchmarkName ns/op" pairs from go test -bench
 // output. Names are normalized by stripping the trailing -GOMAXPROCS
-// suffix so they match the snapshot's names; when a benchmark appears
-// multiple times the slowest run is kept (conservative for a gate).
-func parseBenchOutput(f *os.File) (map[string]float64, error) {
+// suffix so they match the snapshot's names; when several runs collapse to
+// one name (-cpu variants, -count repeats) the slowest is kept, so a
+// baseline entry — and its max_factor — always gates the worst measured
+// variant (conservative for a gate). Sub-benchmark names (Benchmark/sub)
+// stay distinct after suffix stripping: each needs its own baseline entry.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
 	out := map[string]float64{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())

@@ -1,16 +1,25 @@
 // Command bmlserve runs a live miniature BML web farm on localhost: real
 // HTTP instances of the stateless application (rate-limited to emulate the
 // paper's heterogeneous machines), a weighted load balancer front end, and
-// a controller that periodically measures the observed request rate and
-// reconfigures the farm to the ideal BML combination.
+// the event-driven controller from internal/ctrl reconfiguring the farm to
+// the ideal BML combination.
 //
-// Service rates are scaled down (default 2% of hardware scale) so the whole
-// data center fits on a laptop: an emulated Paravance serves ~27 req/s.
+// The controller re-plans periodically from the observed arrival rate
+// (reactive mode — a real deployment cannot look ahead into a trace file)
+// and re-plans early when live signals fire: the observed rate diverging
+// from the last plan beyond -error-threshold, the latency QoS window
+// degrading (-qos-latency/-qos-window), or an arrival burst
+// (-burst-factor). Event re-plans are rate-limited by -min-gap and
+// -max-replans.
+//
+// Service rates are scaled down (default 2% of hardware scale) so the
+// whole data center fits on a laptop: an emulated Paravance serves
+// ~27 req/s.
 //
 // Usage:
 //
 //	bmlserve -addr :8080                 # serve until interrupted
-//	bmlserve -selftest                   # drive a ramp load, then exit
+//	bmlserve -selftest -seed 1           # drive a ramp load, then exit
 package main
 
 import (
@@ -18,40 +27,60 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/bml"
+	"repro/internal/ctrl"
 	"repro/internal/loadgen"
 	"repro/internal/profile"
+	"repro/internal/qos"
 	"repro/internal/webapp"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bmlserve: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "load balancer listen address")
-		rateScale = flag.Float64("rate-scale", 0.02, "emulated service-rate scale")
-		interval  = flag.Duration("interval", 2*time.Second, "controller decision interval")
-		headroom  = flag.Float64("headroom", 1.2, "capacity headroom over the observed rate")
-		selftest  = flag.Bool("selftest", false, "drive a ramp load against the farm and exit")
+		addr       = flag.String("addr", "127.0.0.1:8080", "load balancer listen address (port 0 picks a free port)")
+		rateScale  = flag.Float64("rate-scale", 0.02, "emulated service-rate scale")
+		interval   = flag.Duration("interval", 2*time.Second, "controller decision interval")
+		headroom   = flag.Float64("headroom", 1.2, "capacity headroom over the observed rate")
+		seed       = flag.Int64("seed", 0, "deterministic seed for workload randomness (0 = time-based)")
+		errThresh  = flag.Float64("error-threshold", 0.5, "relative observed-vs-planned rate error forcing an early re-plan (0 disables)")
+		burstFac   = flag.Float64("burst-factor", 3, "short-window arrival rate over sustained rate forcing an early re-plan (0 disables)")
+		qosLatency = flag.Duration("qos-latency", 500*time.Millisecond, "latency QoS threshold; degradation forces an early re-plan (0 disables)")
+		qosWindow  = flag.Duration("qos-window", 5*time.Second, "QoS observation window span")
+		minGap     = flag.Duration("min-gap", 500*time.Millisecond, "minimum gap between event-triggered re-plans")
+		maxReplans = flag.Int("max-replans", 12, "event-triggered re-plan budget per minute")
+		selftest   = flag.Bool("selftest", false, "drive a ramp load against the farm and exit (exit 1 on failure)")
+		stepDur    = flag.Duration("selftest-step", 6*time.Second, "duration of each selftest ramp step")
 	)
 	flag.Parse()
 
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
 	planner, err := bml.NewPlanner(profile.PaperMachines())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	farm, err := webapp.NewFarm(planner.Candidates(), webapp.InstanceConfig{
 		RateScale: *rateScale,
-		Seed:      time.Now().UnixNano(),
+		Seed:      *seed,
 		Patience:  2 * time.Second,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -64,13 +93,36 @@ func main() {
 	// Start with one Little instance so the farm serves immediately.
 	little := planner.Little()
 	if err := farm.Reconfigure(ctx, map[string]int{little.Name: 1}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: farm.LoadBalancer()}
+	// Wire the balancer's per-request observations into the latency QoS
+	// window the controller polls.
+	var qosDegraded func(time.Time) bool
+	if *qosLatency > 0 {
+		win, err := qos.NewWindow(qos.WindowConfig{
+			Threshold: *qosLatency,
+			Span:      *qosWindow,
+		})
+		if err != nil {
+			return err
+		}
+		farm.LoadBalancer().SetObserver(func(o webapp.Observation) {
+			win.Observe(o.Start.Add(o.Latency), o.Latency, o.TransportError || o.Status >= 500)
+		})
+		qosDegraded = win.Degraded
+	}
+
+	// Explicit listen (rather than ListenAndServe) so ":0" resolves to a
+	// concrete port the selftest can target.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: farm.LoadBalancer()}
 	go func() {
-		log.Printf("load balancer listening on http://%s/", *addr)
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Printf("load balancer listening on http://%s/", ln.Addr())
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("serve: %v", err)
 			stop()
 		}
@@ -81,66 +133,82 @@ func main() {
 		_ = srv.Shutdown(shutCtx)
 	}()
 
-	table := planner.Table(planner.Big().MaxPerf * 4)
+	// Reactive controller: nil predictor plans from the observed arrival
+	// rate (converted back to hardware scale by RateScale). MinRate keeps
+	// at least a minimal combination alive through idle periods. The
+	// table is sized for the full emulated data center (the paper's
+	// 4-Big over-provisioned baseline) with room for the QoS boost.
+	lb := farm.LoadBalancer()
+	controller, err := ctrl.New(ctrl.Config{
+		Farm:                farm,
+		Table:               planner.Table(planner.Big().MaxPerf * 4 * 1.5),
+		TimeScale:           time.Second,
+		DecideEvery:         *interval,
+		RateScale:           *rateScale,
+		Headroom:            *headroom,
+		MinRate:             1,
+		RateErrorThreshold:  *errThresh,
+		RateErrorFloor:      5, // hw-scale req/s; mutes the trigger near idle
+		BurstFactor:         *burstFac,
+		BurstWindow:         time.Second,
+		QoSDegraded:         qosDegraded,
+		ArrivalRate:         lb.ArrivalRate,
+		ObservedCount:       lb.Arrivals,
+		MinReplanGap:        *minGap,
+		MaxReplansPerMinute: *maxReplans,
+		Logf:                log.Printf,
+	})
+	if err != nil {
+		return err
+	}
 
+	selftestFailed := make(chan bool, 1)
 	if *selftest {
-		go runSelfTest(ctx, "http://"+*addr+"/", stop)
+		go func() {
+			selftestFailed <- !runSelfTest(ctx, "http://"+ln.Addr().String()+"/", *stepDur)
+			stop()
+		}()
 	}
 
-	// Controller: observed rate → headroom → ideal combination →
-	// reconfigure. The live farm uses a reactive last-value predictor
-	// because real deployments cannot look ahead into a trace file.
-	prevServed := totalServed(farm)
-	ticker := time.NewTicker(*interval)
-	defer ticker.Stop()
-	for {
+	err = controller.Run(ctx)
+	if err == context.Canceled || ctx.Err() != nil {
+		err = nil
+	}
+	log.Printf("shutting down")
+	if *selftest {
 		select {
-		case <-ctx.Done():
-			log.Printf("shutting down")
-			return
-		case <-ticker.C:
+		case failed := <-selftestFailed:
+			if failed {
+				return fmt.Errorf("selftest failed")
+			}
+		default:
+			return fmt.Errorf("selftest interrupted")
 		}
-		cur := totalServed(farm)
-		rate := float64(cur-prevServed) / interval.Seconds()
-		prevServed = cur
-		// Convert the observed (scaled) rate back to hardware scale for
-		// the combination lookup.
-		hwRate := rate / *rateScale * *headroom
-		target := table.At(hwRate).Counts()
-		if err := farm.Reconfigure(ctx, target); err != nil {
-			log.Printf("reconfigure: %v", err)
-			continue
-		}
-		log.Printf("observed %.1f req/s (hw-scale %.0f) → %v  capacity %.1f req/s",
-			rate, hwRate, target, farm.Capacity())
 	}
+	return err
 }
 
-func totalServed(farm *webapp.Farm) uint64 {
-	var sum uint64
-	for _, n := range farm.LoadBalancer().ServedCounts() {
-		sum += n
-	}
-	return sum
-}
-
-// runSelfTest ramps concurrency up and back down against the farm, then
-// stops the process.
-func runSelfTest(ctx context.Context, url string, stop func()) {
-	defer stop()
+// runSelfTest ramps concurrency up and back down against the farm and
+// reports success: every step must complete at least one request.
+func runSelfTest(ctx context.Context, url string, step time.Duration) bool {
 	time.Sleep(2 * time.Second) // let the first instance come up
+	ok := true
 	for _, conc := range []int{1, 4, 8, 4, 1} {
 		select {
 		case <-ctx.Done():
-			return
+			return false
 		default:
 		}
-		res, err := loadgen.Run(ctx, url, conc, 6*time.Second)
+		res, err := loadgen.Run(ctx, url, conc, step)
 		if err != nil {
 			log.Printf("selftest: %v", err)
-			return
+			return false
 		}
 		fmt.Printf("selftest: concurrency %d → %.1f req/s (%d ok, %d failed)\n",
 			conc, res.Rate, res.Completed, res.Failed)
+		if res.Completed == 0 {
+			ok = false
+		}
 	}
+	return ok
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelftestEndToEnd builds the command and runs the full selftest ramp
+// against a live farm, the same invocation CI's live-e2e job uses.
+func TestSelftestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the live farm")
+	}
+	bin := filepath.Join(t.TempDir(), "bmlserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-selftest", "-seed", "1", "-addr", "127.0.0.1:0", "-selftest-step", "1s")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("selftest exited with error: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"selftest: concurrency 1",
+		"selftest: concurrency 8",
+		"load balancer listening",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestBadFlagExitsNonzero pins the CLI contract: unparsable flags fail the
+// process rather than starting a misconfigured farm.
+func TestBadFlagExitsNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the command")
+	}
+	bin := filepath.Join(t.TempDir(), "bmlserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if err := exec.Command(bin, "-no-such-flag").Run(); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bml"
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// replaySegment builds the quantized World Cup segment the differential
+// tests replay: `buckets` quanta starting at second `from` of a generated
+// day-1 trace, quantized to the scheduler's 378 s look-ahead window.
+func replaySegment(t *testing.T, from, buckets, quantum int) *trace.Trace {
+	t.Helper()
+	full, err := trace.GenerateWorldCup(trace.WorldCupConfig{
+		Days: 1, PeakRate: 4000, Seed: 1998, Noise: 0.13, BurstLevel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := full.Slice(from, from+buckets*quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := seg.Quantize(quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestLiveReplayMatchesSimDecisions is the headline differential test: the
+// same quantized trace segment drives the simulator's scheduler and a live
+// farm under the event-driven controller at accelerated wall time, and the
+// two decision sequences must agree under CompareDecisions' documented
+// tolerances. A second phase injects a synthetic QoS-degradation event
+// mid-bucket and checks the controller re-planned early — at a simulated
+// time strictly between interval ticks, which a fixed-interval loop would
+// have missed.
+func TestLiveReplayMatchesSimDecisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock replay test")
+	}
+	planner, err := bml.NewPlanner(profile.PaperMachines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One decide interval per quantum; the quantum equals the paper's
+	// 378 s look-ahead window so predictions change at bucket boundaries.
+	const quantum = 378
+
+	t.Run("matching", func(t *testing.T) {
+		const buckets = 10
+		seg := replaySegment(t, 28000, buckets, quantum)
+		report, err := Replay(context.Background(), ReplayConfig{
+			Trace:   seg,
+			Quantum: quantum,
+			Planner: planner,
+			Seed:    1,
+			Logf:    t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var liveChanged int
+		for _, d := range report.Live {
+			if d.Changed {
+				liveChanged++
+			}
+		}
+		t.Logf("sim decisions %d, live decisions %d (%d changed), load %d ok / %d failed",
+			len(report.Sim), len(report.Live), liveChanged, report.Load.Completed, report.Load.Failed)
+		if len(report.Sim) < 2 {
+			t.Fatalf("segment too flat: only %d sim decisions", len(report.Sim))
+		}
+		if liveChanged < 2 {
+			t.Fatalf("live controller reconfigured only %d times", liveChanged)
+		}
+		if err := CompareDecisions(report.Sim, report.Live, quantum, 2, buckets*quantum); err != nil {
+			t.Errorf("decision sequences diverged: %v\nsim: %v\nlive: %v",
+				err, summarizeSim(report.Sim), summarizeLive(report.Live))
+		}
+		if report.Load.Completed == 0 {
+			t.Error("live farm served no requests during the replay")
+		}
+	})
+
+	t.Run("qos-injection", func(t *testing.T) {
+		const buckets = 6
+		// Mid-bucket-5 injection, past the longest possible lock started
+		// at the bucket-5 tick (189 s Paravance On + 21 s Chromebook Off).
+		const injectAt = 5*quantum + 260
+		seg := replaySegment(t, 28000, buckets, quantum)
+		report, err := Replay(context.Background(), ReplayConfig{
+			Trace:          seg,
+			Quantum:        quantum,
+			Planner:        planner,
+			Seed:           2,
+			QoSBoost:       2.0,
+			InjectQoSAtSim: injectAt,
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qos *Decision
+		for i := range report.Live {
+			if report.Live[i].Trigger == TriggerQoS {
+				qos = &report.Live[i]
+				break
+			}
+		}
+		if qos == nil {
+			t.Fatalf("no qos-triggered decision in live log: %v (stats %+v)",
+				summarizeLive(report.Live), report.Stats)
+		}
+		// The early re-plan must land strictly inside a bucket: a
+		// fixed-interval loop only evaluates at bucket boundaries.
+		bucket := int(qos.SimT) / quantum
+		lo, hi := float64(bucket*quantum), float64((bucket+1)*quantum)
+		if qos.SimT <= lo+1 || qos.SimT >= hi-1 {
+			t.Errorf("qos re-plan at sim %.1f sits on a tick boundary [%v, %v]", qos.SimT, lo, hi)
+		}
+		if !qos.Changed {
+			t.Errorf("qos re-plan with 2x boost did not reconfigure (target %v, predicted %.1f)",
+				qos.Target, qos.Predicted)
+		}
+		if report.Stats.EventReplans < 1 {
+			t.Errorf("stats %+v: no event re-plans counted", report.Stats)
+		}
+	})
+}
+
+func summarizeSim(decs []sched.Decision) []string {
+	out := make([]string, len(decs))
+	for i, d := range decs {
+		out[i] = timeTarget(float64(d.Time), d.Target)
+	}
+	return out
+}
+
+func summarizeLive(decs []Decision) []string {
+	var out []string
+	for _, d := range decs {
+		if d.Changed {
+			out = append(out, string(d.Trigger)+"@"+timeTarget(d.SimT, d.Target))
+		}
+	}
+	return out
+}
+
+func timeTarget(t float64, target map[string]int) string {
+	s := time.Duration(t*float64(time.Second)).String() + ":{"
+	first := true
+	for _, a := range profile.PaperMachines() {
+		if n := target[a.Name]; n > 0 {
+			if !first {
+				s += " "
+			}
+			s += fmt.Sprintf("%s:%d", a.Name, n)
+			first = false
+		}
+	}
+	return s + "}"
+}

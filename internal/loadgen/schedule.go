@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Schedule is a precomputed open-loop arrival sequence: request send
+// offsets relative to the start of a replay. Unlike the closed-loop Run
+// clients (which wait for each response before sending the next request),
+// a schedule reproduces an offered-load trace: requests are fired at their
+// arrival times regardless of how fast the farm answers, which is what the
+// sim-vs-live differential harness needs to replay a trace segment
+// faithfully.
+type Schedule struct {
+	times   []time.Duration
+	horizon time.Duration
+}
+
+// Times returns a copy of the arrival offsets, ascending.
+func (s Schedule) Times() []time.Duration {
+	out := make([]time.Duration, len(s.times))
+	copy(out, s.times)
+	return out
+}
+
+// Len returns the number of scheduled arrivals.
+func (s Schedule) Len() int { return len(s.times) }
+
+// Duration returns the schedule horizon (the duration PoissonSchedule was
+// built with, not the last arrival).
+func (s Schedule) Duration() time.Duration { return s.horizon }
+
+// PoissonSchedule draws a deterministic inhomogeneous Poisson arrival
+// sequence over [0, duration) with time-varying intensity rate(elapsed)
+// (requests per second), using Lewis-Shedler thinning against the constant
+// envelope maxRate.
+//
+// Determinism guarantee: for the same seed, maxRate, duration, and rate
+// function, PoissonSchedule returns the identical arrival sequence on
+// every run and platform — math/rand's generator is stable for a fixed
+// seed, and the thinning loop consumes variates in a fixed order. Different
+// seeds produce diverging sequences. This is what makes live trace replays
+// reproducible end to end (see internal/ctrl).
+//
+// rate values above maxRate are clamped to maxRate (the envelope cannot be
+// exceeded by construction); negative values are treated as zero.
+func PoissonSchedule(seed int64, maxRate float64, rate func(elapsed time.Duration) float64, duration time.Duration) (Schedule, error) {
+	if rate == nil {
+		return Schedule{}, errors.New("loadgen: nil rate function")
+	}
+	if maxRate <= 0 {
+		return Schedule{}, fmt.Errorf("loadgen: invalid max rate %v", maxRate)
+	}
+	if duration <= 0 {
+		return Schedule{}, fmt.Errorf("loadgen: invalid duration %v", duration)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var times []time.Duration
+	t := time.Duration(0)
+	for {
+		// Exponential gap of the envelope process.
+		gap := rng.ExpFloat64() / maxRate
+		t += time.Duration(gap * float64(time.Second))
+		if t >= duration {
+			break
+		}
+		r := rate(t)
+		if r < 0 {
+			r = 0
+		}
+		if r > maxRate {
+			r = maxRate
+		}
+		// Thinning: keep the candidate with probability r/maxRate. The
+		// uniform variate is drawn unconditionally so the consumed rng
+		// sequence — and therefore every later arrival — is independent
+		// of float comparisons on the rate path.
+		u := rng.Float64()
+		if u < r/maxRate {
+			times = append(times, t)
+		}
+	}
+	return Schedule{times: times, horizon: duration}, nil
+}
+
+// Replay fires the schedule open-loop against url: each request is sent at
+// its arrival offset (relative to the moment Replay starts) on its own
+// goroutine, without waiting for earlier responses. In-flight requests are
+// bounded by maxInflight (0 = 512); arrivals beyond the bound are counted
+// as failed rather than delayed, keeping the offered-load timing honest.
+// Replay returns once every request has completed or ctx is done.
+func Replay(ctx context.Context, url string, s Schedule, maxInflight int) (Result, error) {
+	if url == "" {
+		return Result{}, errors.New("loadgen: empty url")
+	}
+	if maxInflight == 0 {
+		maxInflight = 512
+	}
+	if maxInflight < 0 {
+		return Result{}, fmt.Errorf("loadgen: invalid inflight bound %d", maxInflight)
+	}
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: maxInflight},
+		Timeout:   10 * time.Second,
+	}
+	defer client.CloseIdleConnections()
+
+	var completed, failed uint64
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+dispatch:
+	for _, at := range s.times {
+		wait := at - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				break dispatch
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			atomic.AddUint64(&failed, 1)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				atomic.AddUint64(&failed, 1)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				atomic.AddUint64(&failed, 1)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+				atomic.AddUint64(&completed, 1)
+			} else {
+				atomic.AddUint64(&failed, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{
+		Duration:  elapsed,
+		Completed: atomic.LoadUint64(&completed),
+		Failed:    atomic.LoadUint64(&failed),
+	}
+	if elapsed > 0 {
+		res.Rate = float64(res.Completed) / elapsed.Seconds()
+	}
+	return res, nil
+}

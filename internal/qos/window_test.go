@@ -1,0 +1,163 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestWindow(t *testing.T, cfg WindowConfig) *Window {
+	t.Helper()
+	w, err := NewWindow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWindowConfigValidation(t *testing.T) {
+	if _, err := NewWindow(WindowConfig{}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	for _, cfg := range []WindowConfig{
+		{Threshold: time.Second, Span: -time.Second},
+		{Threshold: -time.Millisecond},
+		{Threshold: time.Second, MaxViolationRatio: -0.1},
+		{Threshold: time.Second, MaxViolationRatio: 1},
+		{Threshold: time.Second, MinSamples: -3},
+	} {
+		if _, err := NewWindow(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// Defaults fill in for zero fields.
+	w := newTestWindow(t, WindowConfig{Threshold: time.Second})
+	if w.cfg.Span != 10*time.Second || w.cfg.MinSamples != 5 || w.cfg.MaxViolationRatio != 0.1 {
+		t.Errorf("defaults not applied: %+v", w.cfg)
+	}
+}
+
+// TestWindowEmptyAndShortInconclusive pins the edge the control plane
+// depends on: an empty window, or one with fewer than MinSamples
+// observations — even if every one of them violates — must never report
+// degradation. A freshly reconfigured farm with no traffic yet is healthy,
+// not degraded.
+func TestWindowEmptyAndShortInconclusive(t *testing.T) {
+	now := time.Unix(1000, 0)
+	w := newTestWindow(t, WindowConfig{Threshold: 100 * time.Millisecond, MinSamples: 5})
+	if w.Degraded(now) {
+		t.Fatal("empty window degraded")
+	}
+	// Four violations out of four samples: all-violations but short.
+	for i := 0; i < 4; i++ {
+		w.Observe(now, time.Second, false)
+	}
+	if total, viol := w.Counts(now); total != 4 || viol != 4 {
+		t.Fatalf("counts = %d/%d, want 4/4", viol, total)
+	}
+	if w.Degraded(now) {
+		t.Error("short all-violations window degraded before MinSamples")
+	}
+	// The fifth violation reaches MinSamples: now conclusively degraded.
+	w.Observe(now, time.Second, false)
+	if !w.Degraded(now) {
+		t.Error("all-violations window at MinSamples not degraded")
+	}
+}
+
+// TestWindowBoundaryLatency pins which side of the threshold counts as
+// degraded: latency exactly at the QoS threshold is WITHIN QoS; only
+// strictly greater latencies violate.
+func TestWindowBoundaryLatency(t *testing.T) {
+	now := time.Unix(1000, 0)
+	const thr = 250 * time.Millisecond
+	w := newTestWindow(t, WindowConfig{Threshold: thr, MinSamples: 1})
+	w.Observe(now, thr, false) // exactly at the bound
+	if _, viol := w.Counts(now); viol != 0 {
+		t.Fatalf("latency == threshold counted as violation")
+	}
+	if w.Degraded(now) {
+		t.Error("window with boundary-latency sample degraded")
+	}
+	w.Observe(now, thr+time.Nanosecond, false) // one tick over
+	if _, viol := w.Counts(now); viol != 1 {
+		t.Fatalf("latency just over threshold not counted as violation")
+	}
+	// A failed request violates regardless of latency.
+	w.Observe(now, 0, true)
+	if _, viol := w.Counts(now); viol != 2 {
+		t.Fatalf("failed request not counted as violation")
+	}
+}
+
+// TestWindowRatioBoundary pins the degradation comparison as strict: a
+// window at exactly MaxViolationRatio is not degraded.
+func TestWindowRatioBoundary(t *testing.T) {
+	now := time.Unix(1000, 0)
+	w := newTestWindow(t, WindowConfig{
+		Threshold:         100 * time.Millisecond,
+		MaxViolationRatio: 0.5,
+		MinSamples:        2,
+	})
+	w.Observe(now, time.Second, false) // violation
+	w.Observe(now, 0, false)           // ok
+	if w.Degraded(now) {
+		t.Error("ratio exactly at MaxViolationRatio reported degraded")
+	}
+	w.Observe(now, time.Second, false) // 2/3 > 0.5
+	if !w.Degraded(now) {
+		t.Error("ratio above MaxViolationRatio not degraded")
+	}
+}
+
+// TestWindowSlidesOldSamplesOut checks that degradation clears once the
+// violating burst falls out of the span.
+func TestWindowSlidesOldSamplesOut(t *testing.T) {
+	start := time.Unix(1000, 0)
+	w := newTestWindow(t, WindowConfig{
+		Threshold:  100 * time.Millisecond,
+		Span:       2 * time.Second,
+		MinSamples: 3,
+	})
+	for i := 0; i < 5; i++ {
+		w.Observe(start, time.Second, false)
+	}
+	if !w.Degraded(start) {
+		t.Fatal("burst not degraded")
+	}
+	later := start.Add(3 * time.Second)
+	if w.Degraded(later) {
+		t.Error("degradation persisted after the burst left the window")
+	}
+	if total, _ := w.Counts(later); total != 0 {
+		t.Errorf("stale samples retained: %d", total)
+	}
+	// Healthy traffic after the burst keeps the window clean.
+	for i := 0; i < 5; i++ {
+		w.Observe(later, 10*time.Millisecond, false)
+	}
+	if w.Degraded(later) {
+		t.Error("healthy window degraded")
+	}
+}
+
+// TestTrackerEmptyWindowEdges pins the simulation tracker's zero-
+// observation behavior alongside the live window's: no observed time means
+// no violations and full availability.
+func TestTrackerEmptyWindowEdges(t *testing.T) {
+	var tr Tracker
+	if tr.ViolationRatio() != 0 {
+		t.Errorf("empty tracker violation ratio = %v", tr.ViolationRatio())
+	}
+	if tr.Availability() != 1 {
+		t.Errorf("empty tracker availability = %v", tr.Availability())
+	}
+	// A zero-duration observation is legal and changes nothing but the
+	// rate bookkeeping.
+	if err := tr.Observe(5, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seconds() != 0 || tr.ViolationSeconds() != 0 {
+		t.Errorf("zero-dt observation advanced time: %v s, %v violation s",
+			tr.Seconds(), tr.ViolationSeconds())
+	}
+}

@@ -177,29 +177,34 @@ type BMLConfig struct {
 // lookup serves identical combinations without the up-front cost.
 const denseTableLimit = 1 << 16
 
-// buildBMLRig assembles the scheduler, cluster, and predictor for a BML
-// run. The predictor is returned so the event engine can derive
-// prediction-change events from it.
-func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.Scheduler, *cluster.Cluster, predict.Predictor, error) {
+// LiveRig builds the decision components of a BML run — combination
+// table, predictor, and effective headroom — exactly as the simulator's
+// scenario would build them. The live controller (internal/ctrl) plans
+// from these so that sim-versus-live differential tests compare two
+// consumers of the identical rig, not two reimplementations of it.
+func LiveRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (bml.Lookup, predict.Predictor, float64, error) {
+	if tr == nil || planner == nil {
+		return nil, nil, 0, errors.New("sim: nil trace or planner")
+	}
 	wf := cfg.WindowFactor
 	if wf == 0 {
 		wf = sched.DefaultWindowFactor
 	}
 	window, err := sched.Window(planner.Candidates(), wf)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, 0, err
 	}
 	pred := cfg.Predictor
 	if pred == nil {
 		pred, err = predictorFromSpec(tr, cfg.PredictorSpec, window)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
 	if pred == nil {
 		pred, err = predict.NewLookaheadMax(tr, window)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
 	headroom := cfg.Headroom
@@ -219,6 +224,17 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 		table = planner.LazyTable(maxRate)
 	} else {
 		table = planner.Table(maxRate)
+	}
+	return table, pred, headroom, nil
+}
+
+// buildBMLRig assembles the scheduler, cluster, and predictor for a BML
+// run. The predictor is returned so the event engine can derive
+// prediction-change events from it.
+func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.Scheduler, *cluster.Cluster, predict.Predictor, error) {
+	table, pred, headroom, err := LiveRig(tr, planner, cfg)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	var clOpts []cluster.Option
 	if cfg.Inventory != nil {
@@ -253,13 +269,26 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 // scheduler over tr, using the planner's candidate classes and combination
 // table. The event-driven engine is used unless WithTickEngine is given.
 func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, opts ...Option) (*Result, error) {
+	res, _, err := runBML(tr, planner, cfg, false, opts)
+	return res, err
+}
+
+// RunBMLDecisions runs the BML scenario like RunBML and additionally
+// returns the scheduler's decision log (changed-target decisions with
+// their simulation times). The differential replay harness
+// (internal/ctrl) compares this sequence against the live controller's.
+func RunBMLDecisions(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, opts ...Option) (*Result, []sched.Decision, error) {
+	return runBML(tr, planner, cfg, true, opts)
+}
+
+func runBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, wantLog bool, opts []Option) (*Result, []sched.Decision, error) {
 	if tr == nil || planner == nil {
-		return nil, errors.New("sim: nil trace or planner")
+		return nil, nil, errors.New("sim: nil trace or planner")
 	}
 	o := buildOptions(opts)
 	sc, cl, pred, err := buildBMLRig(tr, planner, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	res := newResult("Big-Medium-Little", tr.Days())
@@ -269,7 +298,7 @@ func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, opts ...Option
 		err = runBMLEvent(tr, sc, pred, res)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Decisions = sc.Decisions()
 	res.SwitchOns = sc.SwitchOns()
@@ -279,7 +308,11 @@ func RunBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, opts ...Option
 	res.Breakdown = cl.Breakdown()
 	res.Breakdown.Transition += res.MigrationEnergy
 	res.finalize()
-	return res, nil
+	var log []sched.Decision
+	if wantLog {
+		log = sc.DecisionLog()
+	}
+	return res, log, nil
 }
 
 // RunUpperBoundGlobal simulates the over-provisioned homogeneous data

@@ -18,10 +18,11 @@ type Farm struct {
 	lb  *LoadBalancer
 	cfg InstanceConfig
 
-	mu        sync.Mutex
-	instances map[string][]*Instance // arch name → running instances
-	archs     map[string]profile.Arch
-	stopGrace time.Duration
+	mu         sync.Mutex
+	instances  map[string][]*Instance // arch name → running instances
+	archs      map[string]profile.Arch
+	stopGrace  time.Duration
+	drainDelay time.Duration
 }
 
 // NewFarm builds an empty farm for the given architectures.
@@ -30,11 +31,12 @@ func NewFarm(archs []profile.Arch, cfg InstanceConfig) (*Farm, error) {
 		return nil, fmt.Errorf("webapp: farm needs at least one architecture")
 	}
 	f := &Farm{
-		lb:        NewLoadBalancer(),
-		cfg:       cfg,
-		instances: make(map[string][]*Instance),
-		archs:     make(map[string]profile.Arch),
-		stopGrace: 5 * time.Second,
+		lb:         NewLoadBalancer(),
+		cfg:        cfg,
+		instances:  make(map[string][]*Instance),
+		archs:      make(map[string]profile.Arch),
+		stopGrace:  5 * time.Second,
+		drainDelay: 20 * time.Millisecond,
 	}
 	for _, a := range archs {
 		if err := a.Validate(); err != nil {
@@ -80,8 +82,13 @@ func (f *Farm) Capacity() float64 {
 // Reconfigure converges the farm to the target instance counts per
 // architecture: new instances start and join the load balancer first, then
 // surplus instances leave the balancer and drain. This is the live
-// equivalent of the scheduler's two-phase reconfiguration.
+// equivalent of the scheduler's two-phase reconfiguration. For its whole
+// duration the load balancer runs in transition mode: admission
+// backpressure sheds requests beyond the in-flight cap with 503 instead of
+// queueing them onto instances that are joining or draining.
 func (f *Farm) Reconfigure(ctx context.Context, target map[string]int) error {
+	f.lb.EnterTransition()
+	defer f.lb.ExitTransition()
 	for name, want := range target {
 		if _, ok := f.archs[name]; !ok {
 			return fmt.Errorf("webapp: unknown architecture %q", name)
@@ -137,6 +144,19 @@ func (f *Farm) Reconfigure(ctx context.Context, target map[string]int) error {
 		if err := f.lb.Remove(v.URL()); err != nil {
 			return err
 		}
+	}
+	if len(victims) > 0 && f.drainDelay > 0 {
+		// Lame-duck pause: requests that picked a victim just before it
+		// left the balancer get to finish dialing before the listener
+		// closes. Bounds the pick-to-dial race without tracking in-flight
+		// picks per backend.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.drainDelay):
+		}
+	}
+	for _, v := range victims {
 		stopCtx, cancel := context.WithTimeout(ctx, f.stopGrace)
 		err := v.Stop(stopCtx)
 		cancel()

@@ -110,7 +110,10 @@ func (i *Instance) Served() uint64 { return i.handler.Served() }
 
 // Stop shuts the instance down gracefully (draining in-flight requests),
 // which together with LoadBalancer.Remove realizes the paper's stateless
-// migration. Stop is idempotent.
+// migration. If the context expires before the drain completes, the
+// instance is force-closed: the machine is being switched off either way,
+// and the balancer's transport-retry path hides the reset from clients.
+// Stop is idempotent.
 func (i *Instance) Stop(ctx context.Context) error {
 	i.mu.Lock()
 	if i.closed {
@@ -119,7 +122,9 @@ func (i *Instance) Stop(ctx context.Context) error {
 	}
 	i.closed = true
 	i.mu.Unlock()
-	err := i.server.Shutdown(ctx)
+	if err := i.server.Shutdown(ctx); err != nil {
+		_ = i.server.Close()
+	}
 	<-i.done
-	return err
+	return nil
 }

@@ -1,0 +1,280 @@
+package webapp
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/qos"
+)
+
+// TestArrivalMeter drives the metering ring with an injected clock and
+// checks the windowed rate estimate.
+func TestArrivalMeter(t *testing.T) {
+	lb := NewLoadBalancer()
+	now := time.Unix(5000, 0)
+	lb.now = func() time.Time { return now }
+
+	// 50 arrivals spread over one second (10 completed buckets).
+	for i := 0; i < 50; i++ {
+		lb.mu.Lock()
+		lb.noteArrival(now)
+		lb.mu.Unlock()
+		now = now.Add(20 * time.Millisecond)
+	}
+	if got := lb.Arrivals(); got != 50 {
+		t.Fatalf("Arrivals = %d, want 50", got)
+	}
+	rate := lb.ArrivalRate(time.Second)
+	if rate < 40 || rate > 60 {
+		t.Errorf("ArrivalRate over 1s = %v, want ~50", rate)
+	}
+	// After 10 idle seconds the whole ring has aged out.
+	now = now.Add(10 * time.Second)
+	if rate := lb.ArrivalRate(time.Second); rate != 0 {
+		t.Errorf("ArrivalRate after idle = %v, want 0", rate)
+	}
+}
+
+// TestTransitionBackpressure pins the admission valve: while the balancer
+// is in transition mode, requests beyond the in-flight cap are shed with
+// 503 + Retry-After, and shedding stops when the transition ends.
+func TestTransitionBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		io.WriteString(w, "ok")
+	}))
+	defer slow.Close()
+	defer close(release)
+
+	lb := NewLoadBalancer()
+	if err := lb.Add(slow.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.SetTransitionInflightLimit(0); err == nil {
+		t.Error("zero inflight limit accepted")
+	}
+	if err := lb.SetTransitionInflightLimit(1); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb)
+	defer front.Close()
+
+	lb.EnterTransition()
+	if !lb.InTransition() {
+		t.Fatal("not in transition")
+	}
+	// First request occupies the single in-flight slot.
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(front.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+	// Wait until it is counted in-flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lb.mu.Lock()
+		inflight := lb.inflight
+		lb.mu.Unlock()
+		if inflight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second request is shed immediately.
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-transition overload status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if lb.Shed() != 1 {
+		t.Errorf("Shed = %d, want 1", lb.Shed())
+	}
+
+	// Out of transition the same situation queues instead of shedding.
+	lb.ExitTransition()
+	if lb.InTransition() {
+		t.Fatal("still in transition")
+	}
+	release <- struct{}{} // let the first request finish
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first request failed: %v", err)
+	}
+	go func() { release <- struct{}{} }()
+	resp, err = http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-transition status = %d, want 200", resp.StatusCode)
+	}
+	if lb.Shed() != 1 {
+		t.Errorf("Shed after transition = %d, want still 1", lb.Shed())
+	}
+}
+
+// TestObserverFeedsQoSWindow wires the balancer's per-request observer
+// into a qos.Window the way cmd/bmlserve does and checks both healthy and
+// degraded traffic are classified.
+func TestObserverFeedsQoSWindow(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	win, err := qos.NewWindow(qos.WindowConfig{
+		Threshold:  time.Second,
+		MinSamples: 3,
+		Span:       time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoadBalancer()
+	lb.SetObserver(func(o Observation) {
+		win.Observe(o.Start.Add(o.Latency), o.Latency, o.TransportError || o.Status >= 500)
+	})
+	if err := lb.Add(srv.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb)
+	defer front.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(front.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if total, viol := win.Counts(time.Now()); total != 5 || viol != 0 {
+		t.Fatalf("healthy traffic window = %d/%d, want 0/5", viol, total)
+	}
+	// Kill the backend: transport errors flow into the window as
+	// violations and flip it degraded.
+	srv.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(front.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if !win.Degraded(time.Now()) {
+		total, viol := win.Counts(time.Now())
+		t.Fatalf("window not degraded after backend death (%d/%d)", viol, total)
+	}
+}
+
+// TestFarmReconfigureUnderLoadNoDroppedConnections is the concurrency
+// satellite: closed-loop clients hammer the balancer while the farm
+// repeatedly switches BML combinations. The documented contract is that a
+// reconfiguration never drops connections — clients may observe 503s
+// (transition backpressure, instance overload) but never transport-level
+// failures, because instances join the balancer before old ones drain and
+// stop gracefully. Run with -race in CI.
+func TestFarmReconfigureUnderLoadNoDroppedConnections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	big := tinyArch("big", 400)
+	little := tinyArch("little", 100)
+	farm, err := NewFarm([]profile.Arch{big, little}, InstanceConfig{RateScale: 1, Seed: 7, Patience: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Close(ctx)
+	if err := farm.Reconfigure(ctx, map[string]int{"big": 1}); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(farm.LoadBalancer())
+	defer front.Close()
+
+	var transportErrors atomic.Uint64
+	var ok2xx, shed503 atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(front.URL)
+				if err != nil {
+					transportErrors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					ok2xx.Add(1)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					shed503.Add(1)
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+
+	// Switch the combination back and forth under fire.
+	targets := []map[string]int{
+		{"big": 1, "little": 2},
+		{"little": 3},
+		{"big": 2},
+		{"big": 1, "little": 1},
+	}
+	for round := 0; round < 3; round++ {
+		for _, tgt := range targets {
+			if err := farm.Reconfigure(ctx, tgt); err != nil {
+				t.Fatalf("reconfigure %v: %v", tgt, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := transportErrors.Load(); n != 0 {
+		t.Errorf("dropped connections during reconfiguration: %d transport errors", n)
+	}
+	if ok2xx.Load() == 0 {
+		t.Error("no successful requests at all")
+	}
+	t.Logf("served %d, shed/overloaded %d, transport errors %d (farm shed %d)",
+		ok2xx.Load(), shed503.Load(), transportErrors.Load(), farm.LoadBalancer().Shed())
+}

@@ -15,6 +15,11 @@
 // indexed answers to the scanned ones on randomized fleets and fault
 // schedules, and WithScanIndex re-routes the public API through them as the
 // benchmarking baseline.
+//
+// For span-integrating engines, StartFold (integrate.go) exposes the same
+// fill-first dispatch arithmetic as a demand fold: whole runs of constant
+// demand integrate in closed form against a frozen configuration, with
+// machine state materialized once per span instead of once per sample.
 package cluster
 
 import (
@@ -113,6 +118,9 @@ type Cluster struct {
 	// scanIndex routes the public API through the original O(fleet) linear
 	// scans — the differential/benchmark baseline.
 	scanIndex bool
+
+	// fold is the recycled DemandFold buffer handed out by StartFold.
+	fold *DemandFold
 }
 
 // Option customizes cluster construction.

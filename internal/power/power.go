@@ -159,6 +159,25 @@ func NeumaierAdd(sum, comp, v float64) (newSum, newComp float64) {
 	return t, comp
 }
 
+// Accumulator is a Neumaier-compensated running sum — NeumaierAdd packaged
+// as a value so callers that keep several parallel compensated sums (demand
+// and served integrals, per-pool idle and dynamic energy) don't have to
+// thread (sum, comp) pairs by hand. The zero value is an empty sum.
+type Accumulator struct {
+	sum, comp float64
+}
+
+// Add folds v into the compensated sum.
+func (a *Accumulator) Add(v float64) {
+	a.sum, a.comp = NeumaierAdd(a.sum, a.comp, v)
+}
+
+// Sum returns the compensated total.
+func (a *Accumulator) Sum() float64 { return a.sum + a.comp }
+
+// Reset zeroes the accumulator.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
 // EnergyOver returns the closed-form energy of serving a constant rate on
 // model m for dur seconds — IntervalEnergy at the model's operating point.
 func EnergyOver(m Model, rate, durSeconds float64) (Joules, error) {

@@ -4,11 +4,18 @@
 // request-seconds and the second counts as a violation. The paper's
 // scheduler is designed to avoid such violations by provisioning for the
 // predicted window maximum; this package is how the evaluation verifies it.
+//
+// The demand and served integrals are Neumaier-compensated so that engines
+// integrating the same trace in different interval decompositions (the 1 Hz
+// tick oracle, the per-sample event engine, and the interval integrator)
+// agree on availability to well below the differential-test tolerance.
 package qos
 
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/power"
 )
 
 // Tracker accumulates QoS statistics over a simulation run. The zero value
@@ -16,8 +23,8 @@ import (
 type Tracker struct {
 	seconds          float64
 	violationSeconds float64
-	demand           float64 // integral of offered load (request count)
-	served           float64 // integral of served load
+	demand           power.Accumulator // integral of offered load (request count)
+	served           power.Accumulator // integral of served load
 }
 
 // Observe records one interval of dt seconds with the given offered and
@@ -33,11 +40,34 @@ func (t *Tracker) Observe(offered, served, dt float64) error {
 		return fmt.Errorf("qos: served %v exceeds offered %v", served, offered)
 	}
 	t.seconds += dt
-	t.demand += offered * dt
-	t.served += served * dt
+	t.demand.Add(offered * dt)
+	t.served.Add(served * dt)
 	if offered-served > 1e-9 {
 		t.violationSeconds += dt
 	}
+	return nil
+}
+
+// ObserveSpan records a whole span at once from pre-folded integrals: the
+// interval integrator classifies violations and integrates demand/served
+// while folding runs of constant demand, then commits the span here in one
+// call instead of one Observe per run. The violation verdict (a pure
+// function of the per-second rates) must already be folded into
+// violationSeconds by the caller.
+func (t *Tracker) ObserveSpan(seconds, demandIntegral, servedIntegral, violationSeconds float64) error {
+	if seconds < 0 || math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return fmt.Errorf("qos: invalid duration %v", seconds)
+	}
+	if violationSeconds < 0 || violationSeconds > seconds {
+		return fmt.Errorf("qos: violation seconds %v outside span of %v seconds", violationSeconds, seconds)
+	}
+	if demandIntegral < 0 || servedIntegral < 0 || math.IsNaN(demandIntegral) || math.IsNaN(servedIntegral) {
+		return fmt.Errorf("qos: invalid integrals demand=%v served=%v", demandIntegral, servedIntegral)
+	}
+	t.seconds += seconds
+	t.demand.Add(demandIntegral)
+	t.served.Add(servedIntegral)
+	t.violationSeconds += violationSeconds
 	return nil
 }
 
@@ -49,18 +79,19 @@ func (t *Tracker) ViolationSeconds() float64 { return t.violationSeconds }
 
 // LostRequests returns the integral of unserved load (requests dropped by
 // the stateless web application when capacity was short).
-func (t *Tracker) LostRequests() float64 { return t.demand - t.served }
+func (t *Tracker) LostRequests() float64 { return t.demand.Sum() - t.served.Sum() }
 
 // TotalRequests returns the integral of offered load.
-func (t *Tracker) TotalRequests() float64 { return t.demand }
+func (t *Tracker) TotalRequests() float64 { return t.demand.Sum() }
 
 // Availability returns the served fraction of demand in [0, 1]; a run with
 // zero demand is fully available.
 func (t *Tracker) Availability() float64 {
-	if t.demand == 0 {
+	d := t.demand.Sum()
+	if d == 0 {
 		return 1
 	}
-	return t.served / t.demand
+	return t.served.Sum() / d
 }
 
 // ViolationRatio returns the violating fraction of observed time.
@@ -75,8 +106,8 @@ func (t *Tracker) ViolationRatio() float64 {
 func (t *Tracker) Merge(o *Tracker) {
 	t.seconds += o.seconds
 	t.violationSeconds += o.violationSeconds
-	t.demand += o.demand
-	t.served += o.served
+	t.demand.Add(o.demand.Sum())
+	t.served.Add(o.served.Sum())
 }
 
 // String summarizes the tracker.

@@ -9,6 +9,13 @@
 // prediction window effectively starts at reconfiguration completion.
 // Otherwise the window just slides one time step. On/Off durations and
 // energies are charged through the machine automata of the cluster.
+//
+// Three entry points serve the three simulation engines: Step (one 1 Hz
+// tick), DecideInterval/IntegrateInterval (per-event integration over
+// intervals of constant demand and prediction), and DecideSpan (span.go),
+// which discovers how far the current decision outcome extends by scanning
+// predictions forward, letting the interval-integrator engine fold whole
+// quiescent spans in one step.
 package sched
 
 import (

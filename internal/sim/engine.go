@@ -15,20 +15,49 @@ import (
 // Option configures how the Run functions execute a scenario.
 type Option func(*options)
 
+// engineKind selects one of the three BML execution engines. The static
+// scenarios (upper/lower bounds) only distinguish tick from non-tick: their
+// event paths are already O(load changes) with O(1) per event, so the
+// integrator option runs them event-wise.
+type engineKind int
+
+const (
+	// engineIntegrator is the default: scheduler-event spans with a demand
+	// fold over the raw samples inside each span.
+	engineIntegrator engineKind = iota
+	// engineEvent is the per-sample event engine: one interval per load or
+	// prediction change.
+	engineEvent
+	// engineTick is the legacy 1 Hz loop.
+	engineTick
+)
+
 type options struct {
-	tick bool
+	engine engineKind
 }
 
 // WithTickEngine selects the legacy 1 Hz tick loop: one scheduler step and
 // one joule-sample per simulated second. It is kept as the differential-
-// testing oracle for the event engine and for exact replication of the
+// testing oracle for the faster engines and for exact replication of the
 // paper's original integration scheme.
-func WithTickEngine() Option { return func(o *options) { o.tick = true } }
+func WithTickEngine() Option { return func(o *options) { o.engine = engineTick } }
 
-// WithEventEngine selects the event-driven engine (the default): the
-// simulation skips directly from one event to the next and integrates
-// energy analytically over each interval.
-func WithEventEngine() Option { return func(o *options) { o.tick = false } }
+// WithEventEngine selects the per-sample event engine: the simulation skips
+// directly from one event (load change, prediction change, transition
+// completion, day boundary) to the next and integrates energy analytically
+// over each interval. On raw 1 Hz traces every second is a load-change
+// event, which is what the interval integrator improves on; the event
+// engine is retained as the second differential oracle and as the engine of
+// telemetry-recording runs.
+func WithEventEngine() Option { return func(o *options) { o.engine = engineEvent } }
+
+// WithIntegratorEngine selects the dispatch-aware interval integrator (the
+// default): the simulation jumps between scheduler events only (decisions
+// that act, transition completions, lock expiries, day boundaries) and
+// folds the raw demand samples inside each span through the closed-form
+// fill-first dispatch arithmetic, so raw un-quantized traces cost
+// O(scheduler events) engine iterations rather than one per sample.
+func WithIntegratorEngine() Option { return func(o *options) { o.engine = engineIntegrator } }
 
 func buildOptions(opts []Option) options {
 	var o options

@@ -72,7 +72,10 @@ func RunBMLRecorded(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, bucket
 	// the two orderings to ≤1e-6 J per bucket even for day-wide buckets.
 	powerComp := make([]float64, buckets)
 	res := newResult("Big-Medium-Little", tr.Days())
-	if o.tick {
+	// Recording needs the per-interval observer stream (constant demand per
+	// interval, bucket-boundary events), which only the per-sample event
+	// path provides: any non-tick option records event-wise.
+	if o.engine == engineTick {
 		// Legacy 1 Hz oracle: one sample per simulated second.
 		for t := 0; t < tr.Len(); t++ {
 			demand := tr.At(t)

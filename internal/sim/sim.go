@@ -12,27 +12,34 @@
 //   - LowerBound Theoretical: the unreachable bound where the ideal
 //     combination is re-established every second at zero switching cost.
 //
-// Two engines execute the scenarios. The default event-driven engine
-// (engine.go, events.go) observes that between scheduler decisions,
-// machine On/Off completions, day boundaries, and trace-level load
-// changes nothing in the model changes, so it skips directly from one
-// event to the next and integrates energy analytically over each interval
-// (power × Δt): a month-long piecewise-constant trace simulates in
-// milliseconds. Per-event cost is also independent of fleet size: the
-// cluster indexes pending transitions in a min-heap and integrates each
-// pool's On fleet in closed form from its fill-first load shape, so
-// thousand-node runs pay per event for the architectures and the machines
-// mid-transition, not for the fleet. Per-bucket telemetry
-// (RunBMLRecorded, recorder.go) rides the same event stream via
-// bucket-boundary events.
+// Three engines execute the scenarios, all producing identical results.
+// The default interval integrator (integrator.go) iterates only on
+// scheduler events — decisions that act (found by sched.DecideSpan's
+// forward scan), transition completions and lock expiries, day boundaries
+// — and folds every raw trace sample inside a span through the fleet's
+// closed-form dispatch arithmetic (cluster.DemandFold), so un-quantized
+// 1 Hz traces simulate as cheaply per second as quantized ones. The
+// per-sample event engine (engine.go, events.go), selectable with
+// WithEventEngine(), additionally pays one engine iteration per
+// trace-level load change and prediction change — equivalent on
+// piecewise-constant traces, one iteration per second on raw ones; it
+// remains the integrator's differential oracle, the fallback under
+// cluster.WithScanIndex (no pool aggregates to fold), and the engine
+// behind per-bucket telemetry (RunBMLRecorded, recorder.go, which needs
+// the per-interval observer stream). Per-event cost of both is
+// independent of fleet size: the cluster indexes pending transitions in a
+// min-heap and integrates each pool's On fleet in closed form from its
+// fill-first load shape, so thousand-node runs pay per event for the
+// architectures and the machines mid-transition, not for the fleet.
 //
 // The legacy 1 Hz tick loop — one scheduler step and one joule-sample per
 // simulated second, the paper's original integration scheme — survives
 // behind WithTickEngine() as a differential-testing oracle ONLY; it is no
 // longer a supported production path. The differential suites
-// (differential_test.go, recorder_differential_test.go) hold the engines
-// to ≤1e-6 J and exactly equal counters on randomized traces, fleets, and
-// fault schedules.
+// (differential_test.go, recorder_differential_test.go,
+// integrator_differential_test.go) hold all engines pairwise to ≤1e-6 J
+// and exactly equal counters on randomized traces, fleets, fault
+// schedules, and raw un-quantized World Cup segments.
 //
 // Results report total and per-day energy (the series of Figure 5) plus
 // QoS and reconfiguration statistics. RunAll and Sweep (parallel.go) fan
@@ -292,10 +299,16 @@ func runBML(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig, wantLog bool, 
 	}
 
 	res := newResult("Big-Medium-Little", tr.Days())
-	if o.tick {
+	switch {
+	case o.engine == engineTick:
 		err = runBMLTick(tr, sc, res)
-	} else {
+	case o.engine == engineEvent || cfg.ScanIndex:
+		// The scan-index baseline materializes per-machine loads every tick
+		// and keeps no pool aggregates, so there is nothing for a demand
+		// fold to replay: ScanIndex runs always take the per-sample path.
 		err = runBMLEvent(tr, sc, pred, res)
+	default:
+		err = runBMLIntegrator(tr, sc, res)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -366,7 +379,7 @@ func RunUpperBoundPerDay(tr *trace.Trace, big profile.Arch, opts ...Option) (*Re
 // the trailing partial-day fallback) is recorded as QoS loss.
 func runHomogeneousStatic(tr *trace.Trace, arch profile.Arch, sizeForDay func(day int) int, name string, o options) (*Result, error) {
 	res := newResult(name, tr.Days())
-	if !o.tick {
+	if o.engine != engineTick {
 		if err := runHomogeneousEvent(tr, arch, sizeForDay, res); err != nil {
 			return nil, err
 		}
@@ -422,7 +435,7 @@ func RunLowerBound(tr *trace.Trace, candidates []profile.Arch, opts ...Option) (
 		return nil, err
 	}
 	res := newResult("LowerBound Theoretical", tr.Days())
-	if !o.tick {
+	if o.engine != engineTick {
 		if err := runLowerBoundEvent(tr, solver, res); err != nil {
 			return nil, err
 		}

@@ -50,6 +50,115 @@ func TestQuantize(t *testing.T) {
 	}
 }
 
+// TestNextChangeBoundaries pins NextChange behavior at the trace edges the
+// interval integrator leans on: the single-sample trace, the final sample,
+// and per-second "plateaus" of length one (a raw un-quantized trace).
+func TestNextChangeBoundaries(t *testing.T) {
+	single := MustNew([]float64{7})
+	for _, at := range []int{-3, 0, 1, 99} {
+		if got := single.NextChange(at); got != 1 {
+			t.Errorf("single-sample NextChange(%d) = %d, want 1", at, got)
+		}
+	}
+
+	// A distinct final sample: the change lands exactly on the last index,
+	// and from the last index the next change is Len().
+	tail := MustNew([]float64{1, 1, 2})
+	if got := tail.NextChange(0); got != 2 {
+		t.Errorf("NextChange(0) = %d, want 2", got)
+	}
+	if got := tail.NextChange(2); got != 3 {
+		t.Errorf("NextChange(last) = %d, want Len()", got)
+	}
+
+	// Raw 1 Hz trace: every plateau has length one, so NextChange must
+	// advance exactly one second at a time and terminate at Len().
+	raw := MustNew([]float64{1, 2, 3, 4})
+	for i := 0; i < raw.Len(); i++ {
+		if got := raw.NextChange(i); got != i+1 {
+			t.Errorf("raw NextChange(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestQuantizeBoundaries pins Quantize at the window edges: width 1 must be
+// the exact identity, widths at or beyond the trace length collapse to one
+// window, and a trailing partial window of a single sample preserves that
+// sample bit-for-bit.
+func TestQuantizeBoundaries(t *testing.T) {
+	tr := MustNew([]float64{0.1, 0.2, 0.3, 0.4, 0.5})
+
+	q1, err := tr.Quantize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if q1.At(i) != tr.At(i) {
+			t.Errorf("Quantize(1)[%d] = %v, want exact identity %v", i, q1.At(i), tr.At(i))
+		}
+	}
+
+	for _, width := range []int{tr.Len(), tr.Len() + 1, 1000} {
+		q, err := tr.Quantize(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.Mean()
+		for i := 0; i < q.Len(); i++ {
+			if math.Abs(q.At(i)-want) > 1e-15 {
+				t.Errorf("Quantize(%d)[%d] = %v, want whole-trace mean %v", width, i, q.At(i), want)
+			}
+		}
+	}
+
+	// len 5, width 4: trailing partial window holds exactly one sample and
+	// must reproduce it exactly (mean of one value divides by 1).
+	q, err := tr.Quantize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.At(4) != tr.At(4) {
+		t.Errorf("trailing singleton window = %v, want exact %v", q.At(4), tr.At(4))
+	}
+
+	single := MustNew([]float64{42})
+	qs, err := single.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.At(0) != 42 {
+		t.Errorf("single-sample Quantize = %v, want 42", qs.At(0))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := MustNew([]float64{1, 2, 3, 4, 5})
+	cases := []struct {
+		from, to int
+		want     []float64
+	}{
+		{0, 5, []float64{1, 2, 3, 4, 5}},
+		{1, 3, []float64{2, 3}},
+		{-2, 2, []float64{1, 2}}, // from clamps
+		{3, 99, []float64{4, 5}}, // to clamps
+		{2, 2, nil},              // empty
+		{4, 1, nil},              // inverted
+		{7, 9, nil},              // fully out of range
+	}
+	for _, c := range cases {
+		got := tr.Window(c.from, c.to)
+		if len(got) != len(c.want) {
+			t.Errorf("Window(%d,%d) len = %d, want %d", c.from, c.to, len(got), len(c.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Window(%d,%d)[%d] = %v, want %v", c.from, c.to, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
 func TestQuantizeSparsifiesChanges(t *testing.T) {
 	cfg := DefaultWorldCupConfig()
 	cfg.Days = 1

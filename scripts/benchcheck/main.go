@@ -16,6 +16,15 @@
 // narrowing the -bench regex) fails loudly instead of silently shrinking
 // the gate. Intentional gaps go in -allow-missing.
 //
+// The baseline may also declare "ratios": pairs of benchmarks where one is
+// required to beat the other by at least min_factor, compared on the
+// *measured* numbers of the same run. Unlike the per-benchmark thresholds —
+// which compare against a committed snapshot and so absorb host-speed
+// differences badly — a ratio gate is host-independent: both sides run on
+// the same machine in the same invocation, so it can assert algorithmic
+// claims ("the interval integrator is ≥10x the per-sample event path on a
+// raw trace") without flaking on slow runners.
+//
 // Usage:
 //
 //	go test -run xxx -bench 'EngineDayTrace|FleetScaling' -benchtime 1x . | tee bench.txt
@@ -45,6 +54,15 @@ type baseline struct {
 		NsPerOp   float64 `json:"ns_per_op"`
 		MaxFactor float64 `json:"max_factor,omitempty"`
 	} `json:"results"`
+	// Ratios gates measured-vs-measured speedups within one run: the
+	// Faster benchmark's ns/op must be at least MinFactor below the
+	// Slower's. Both names must exist in Results (the coverage gate then
+	// guarantees both ran).
+	Ratios []struct {
+		Faster    string  `json:"faster"`
+		Slower    string  `json:"slower"`
+		MinFactor float64 `json:"min_factor"`
+	} `json:"ratios,omitempty"`
 }
 
 func main() {
@@ -140,6 +158,42 @@ func main() {
 	if compared == 0 {
 		log.Fatal("no measured benchmark matched the baseline — name drift between bench_test.go and BENCH_sim.json?")
 	}
+
+	// Ratio gates: measured vs measured, host-independent by construction.
+	inResults := map[string]bool{}
+	for _, b := range base.Results {
+		inResults[b.Benchmark] = true
+	}
+	for _, r := range base.Ratios {
+		if r.MinFactor <= 1 {
+			log.Fatalf("ratio %s vs %s: invalid min_factor %g in %s (want > 1)", r.Faster, r.Slower, r.MinFactor, *baselinePath)
+		}
+		// Requiring both sides in Results means the coverage gate above has
+		// already guaranteed they ran (or were explicitly allow-listed away,
+		// which skips the ratio too).
+		if !inResults[r.Faster] || !inResults[r.Slower] {
+			log.Fatalf("ratio %s vs %s: both benchmarks must also appear in %s results", r.Faster, r.Slower, *baselinePath)
+		}
+		fast, okF := measured[r.Faster]
+		slow, okS := measured[r.Slower]
+		if !okF || !okS {
+			log.Printf("ratio %s vs %s: skipped (allow-missing benchmark)", r.Faster, r.Slower)
+			continue
+		}
+		if fast <= 0 {
+			log.Fatalf("ratio %s vs %s: non-positive measured ns/op %g", r.Faster, r.Slower, fast)
+		}
+		compared++
+		speedup := slow / fast
+		status := "ok"
+		if speedup < r.MinFactor {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-55s speedup %5.2fx over %s  (min %gx)  %s\n",
+			r.Faster, speedup, r.Slower, r.MinFactor, status)
+	}
+
 	if regressions > 0 {
 		log.Fatalf("%d of %d benchmarks regressed past their threshold (default %gx, per-benchmark max_factor overrides)", regressions, compared, *factor)
 	}

@@ -1,0 +1,233 @@
+// Command doccheck is the CI documentation-drift gate for the README's
+// command reference: it builds every binary under cmd/, parses each one's
+// actual -h output, parses the per-binary flag tables in README.md, and
+// fails when the two disagree in either direction — a flag added to a
+// binary but not documented, or a documented flag that no longer exists
+// (renamed, deleted, or typoed). A binary with no README section fails
+// too, so adding a new command forces its reference table into the same
+// commit.
+//
+// The README contract it parses: a heading of the form
+//
+//	### `bmlsim`
+//
+// opens that binary's scope; within it, every table row whose first cell
+// is a backticked flag —
+//
+//	| `-engine` | ... |
+//	| `-first`, `-last` | ... |
+//
+// documents those flags (multiple backticked flags per cell allowed).
+// Only the first cell counts, so prose in the description column may
+// mention other flags freely. Intentional gaps (hidden or deprecated
+// flags) go in -allow-undocumented as "<binary> -<flag>" patterns.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck                      # from the repo root
+//	go run ./scripts/doccheck -bin-dir bin/        # reuse prebuilt binaries
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	headingRe = regexp.MustCompile("^###\\s+`([A-Za-z0-9_-]+)`")
+	rowRe     = regexp.MustCompile(`^\|([^|]*)\|`)
+	flagTokRe = regexp.MustCompile("`-([A-Za-z0-9-]+)`")
+	helpRe    = regexp.MustCompile(`^  -([A-Za-z0-9-]+)`)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doccheck: ")
+	var (
+		readmePath = flag.String("readme", "README.md", "README with the command-reference flag tables")
+		cmdDir     = flag.String("cmd-dir", "cmd", "directory whose subdirectories are the binaries to audit")
+		binDir     = flag.String("bin-dir", "", "directory with prebuilt binaries (default: build ./cmd/... into a temp dir)")
+		allow      = flag.String("allow-undocumented", "", `regexp of "<binary> -<flag>" pairs allowed to be absent from the README (default: none)`)
+	)
+	flag.Parse()
+
+	var allowed *regexp.Regexp
+	if *allow != "" {
+		var err error
+		if allowed, err = regexp.Compile(*allow); err != nil {
+			log.Fatalf("invalid -allow-undocumented: %v", err)
+		}
+	}
+
+	binaries, err := listBinaries(*cmdDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(binaries) == 0 {
+		log.Fatalf("no binaries found under %s", *cmdDir)
+	}
+
+	dir := *binDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "doccheck-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		build := exec.Command("go", "build", "-o", tmp+string(os.PathSeparator), "./"+*cmdDir+"/...")
+		if out, err := build.CombinedOutput(); err != nil {
+			log.Fatalf("go build ./%s/...: %v\n%s", *cmdDir, err, out)
+		}
+		dir = tmp
+	}
+
+	documented, err := parseReadme(*readmePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	problems := 0
+	for _, bin := range binaries {
+		actual, err := helpFlags(filepath.Join(dir, bin))
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, ok := documented[bin]
+		if !ok {
+			log.Printf("%s: no `### `%s`` section in %s — every binary needs a flag table", bin, bin, *readmePath)
+			problems++
+			continue
+		}
+		for _, f := range sorted(actual) {
+			if !doc[f] {
+				if allowed != nil && allowed.MatchString(bin+" -"+f) {
+					continue
+				}
+				log.Printf("%s: flag -%s exists in -h but is not documented in %s", bin, f, *readmePath)
+				problems++
+			}
+		}
+		for _, f := range sorted(doc) {
+			if !actual[f] {
+				log.Printf("%s: flag -%s is documented in %s but absent from -h (renamed or removed?)", bin, f, *readmePath)
+				problems++
+			}
+		}
+		fmt.Printf("%-12s %2d flags in -h, %2d documented\n", bin, len(actual), len(doc))
+	}
+	for name := range documented {
+		if !contains(binaries, name) {
+			log.Printf("%s: README documents a binary that does not exist under %s", name, *cmdDir)
+			problems++
+		}
+	}
+	if problems > 0 {
+		log.Fatalf("%d documentation drift(s) between %s and the binaries' -h output", problems, *readmePath)
+	}
+	fmt.Printf("%d binaries: README flag tables match -h output\n", len(binaries))
+}
+
+func listBinaries(cmdDir string) ([]string, error) {
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// helpFlags runs the binary with -h and extracts its registered flag names.
+// flag.PrintDefaults writes each flag as "  -name" at the start of a line;
+// -h exits non-zero by convention, so the exit status is ignored as long
+// as output was produced.
+func helpFlags(path string) (map[string]bool, error) {
+	out, err := exec.Command(path, "-h").CombinedOutput()
+	if len(out) == 0 && err != nil {
+		return nil, fmt.Errorf("%s -h: %v", path, err)
+	}
+	flags := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			flags[m[1]] = true
+		}
+	}
+	if len(flags) == 0 {
+		return nil, fmt.Errorf("%s -h: no flags parsed (unexpected help format?)", path)
+	}
+	return flags, nil
+}
+
+// parseReadme returns, per backtick-headed binary section, the set of
+// flags documented in the first cell of its table rows.
+func parseReadme(path string) (map[string]map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]map[string]bool{}
+	current := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			current = m[1]
+			if out[current] == nil {
+				out[current] = map[string]bool{}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			current = "" // any other heading closes the binary's scope
+			continue
+		}
+		if current == "" {
+			continue
+		}
+		m := rowRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		firstCell := m[1]
+		if !strings.Contains(firstCell, "`-") {
+			continue // header or separator row
+		}
+		for _, tok := range flagTokRe.FindAllStringSubmatch(firstCell, -1) {
+			out[current][tok[1]] = true
+		}
+	}
+	return out, sc.Err()
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -856,3 +856,111 @@ func TestCmdBMLSimAblationFlags(t *testing.T) {
 		t.Errorf("overhead-aware summary missing:\n%s", out)
 	}
 }
+
+// TestCmdBMLPaper drives the paper pipeline end to end: a two-experiment
+// spec run cold into a shared cache (the second experiment's bound cells
+// already come from the first's write-back), then a warm re-run that
+// computes zero cells while reproducing the summary artifacts byte for
+// byte — plus the exit-2 contract for invalid specs and flags.
+func TestCmdBMLPaper(t *testing.T) {
+	dir := t.TempDir()
+	trA := filepath.Join(dir, "trace-a.txt")
+	runCmd(t, "bmltrace", "-days", "1", "-seed", "11", "-out", trA)
+	spec := filepath.Join(dir, "experiments.json")
+	specJSON := fmt.Sprintf(`{
+  "experiments": [
+    {"name": "ablation", "traces": [%q], "quantize": 600, "fleets": [0, 50],
+     "configs": "default,name=h13:headroom=1.3"},
+    {"name": "faults", "traces": [%q], "quantize": 600,
+     "configs": "name=flaky:boot-fault=0.25:fault-seed=7", "repeats": 2, "seed": 1}
+  ]
+}`, trA, trA)
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cells.cache")
+	out := filepath.Join(dir, "paper_runs")
+
+	// The exit-code contract is printed by -h.
+	help := runCmdExit(t, 0, "bmlpaper", "-h")
+	for _, want := range []string{"Exit codes:", "0  every experiment complete", "1  one or more experiments incomplete", "2  usage, spec-validation, or I/O error"} {
+		if !strings.Contains(help, want) {
+			t.Errorf("-h output missing %q:\n%s", want, help)
+		}
+	}
+
+	// Usage and spec errors exit 2.
+	runCmdExit(t, 2, "bmlpaper")
+	runCmdExit(t, 2, "bmlpaper", "-spec", filepath.Join(dir, "nope.json"))
+	runCmdExit(t, 2, "bmlpaper", "-spec", spec, "-only", "no-such-experiment")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"experiments": [{"name": "x", "repeets": 3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badOut := runCmdExit(t, 2, "bmlpaper", "-spec", bad)
+	if !strings.Contains(badOut, "repeets") {
+		t.Errorf("typoed spec key not named:\n%s", badOut)
+	}
+
+	// -validate checks the spec without running anything.
+	vout := runCmdExit(t, 0, "bmlpaper", "-spec", spec, "-validate")
+	if !strings.Contains(vout, "2 experiment(s) valid") || !strings.Contains(vout, "faults") {
+		t.Errorf("-validate summary wrong:\n%s", vout)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("-validate created the run directory: %v", err)
+	}
+
+	// Cold run: ablation computes all 10 cells; faults (same trace, fleet 0)
+	// reuses the 3 bound cells ablation wrote back and computes its 2 repeats.
+	cold := runCmdExit(t, 0, "bmlpaper", "-spec", spec, "-out", out, "-stamp", "cold", "-cache", cacheDir)
+	for _, want := range []string{
+		"experiment ablation: 10 cells (cache served 0, computed 10)",
+		"experiment faults: 5 cells (cache served 3, computed 2)",
+		"run complete",
+	} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold run missing %q:\n%s", want, cold)
+		}
+	}
+	for _, exp := range []string{"ablation", "faults"} {
+		for _, name := range []string{"cells.jsonl", "cells.csv", "summary.csv", "table.txt", "table.tex", "plot_total_kwh.txt"} {
+			path := filepath.Join(out, "cold", exp, name)
+			if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+				t.Errorf("cold artifact %s/%s missing or empty: %v", exp, name, err)
+			}
+		}
+	}
+
+	// Warm run: zero computed everywhere, byte-identical summaries.
+	warm := runCmdExit(t, 0, "bmlpaper", "-spec", spec, "-out", out, "-stamp", "warm", "-cache", cacheDir)
+	for _, want := range []string{
+		"experiment ablation: 10 cells (cache served 10, computed 0)",
+		"experiment faults: 5 cells (cache served 5, computed 0)",
+	} {
+		if !strings.Contains(warm, want) {
+			t.Errorf("warm run missing %q:\n%s", want, warm)
+		}
+	}
+	for _, exp := range []string{"ablation", "faults"} {
+		for _, name := range []string{"summary.csv", "table.txt", "table.tex", "plot_total_kwh.txt"} {
+			a, err := os.ReadFile(filepath.Join(out, "cold", exp, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(out, "warm", exp, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Errorf("%s/%s differs between cold and warm runs:\n--- cold ---\n%s--- warm ---\n%s", exp, name, a, b)
+			}
+		}
+	}
+
+	// -only runs a subset against the same cache.
+	only := runCmdExit(t, 0, "bmlpaper", "-spec", spec, "-only", "faults", "-out", out, "-stamp", "only", "-cache", cacheDir)
+	if strings.Contains(only, "experiment ablation") || !strings.Contains(only, "experiment faults: 5 cells (cache served 5, computed 0)") {
+		t.Errorf("-only run wrong:\n%s", only)
+	}
+}

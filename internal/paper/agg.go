@@ -1,0 +1,251 @@
+package paper
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// The analysis stage: fold an experiment's merged cells into repeat
+// groups and render the summary artifacts. Grouping keys on (scenario,
+// trace, base config, fleet) — where "base config" is the name the spec
+// author wrote, recovered through the sim.RepeatConfigs name map rather
+// than by parsing ".rK" suffixes off user-controlled names — so the three
+// repeats of config "h13" at fleet 50 are one summary row with n=3.
+
+// Group is one summary row: a grid position with its repeat statistics.
+// Bound scenarios (config-independent) group with an empty Config and
+// n=1: bounds are enumerated once per trace × fleet, not per repeat.
+type Group struct {
+	Scenario string
+	Trace    string
+	Config   string
+	Fleet    float64
+
+	TotalJ       report.Stats
+	Availability report.Stats
+	Decisions    report.Stats
+	SwitchOns    report.Stats
+	SwitchOffs   report.Stats
+	LostRequests report.Stats
+}
+
+// GroupCells folds merged cells (grid order) into summary groups in first
+// appearance order — the spec author's config order, which is the paper
+// table's row order. Wall-clock time is deliberately not aggregated: it
+// varies per machine and would break byte-identical warm re-runs.
+func GroupCells(cells []sim.CellRecord, baseOf map[string]string) []Group {
+	type key struct {
+		scenario, trace, config string
+		fleet                   float64
+	}
+	type acc struct {
+		totalJ, avail, decisions, ons, offs, lost []float64
+	}
+	var order []key
+	accs := map[key]*acc{}
+	for _, c := range cells {
+		config := c.Config
+		if base, ok := baseOf[config]; ok {
+			config = base
+		}
+		k := key{c.Scenario, c.TraceName, config, c.FleetScale}
+		a, seen := accs[k]
+		if !seen {
+			a = &acc{}
+			accs[k] = a
+			order = append(order, k)
+		}
+		a.totalJ = append(a.totalJ, c.TotalJ)
+		a.avail = append(a.avail, c.Availability)
+		a.decisions = append(a.decisions, float64(c.Decisions))
+		a.ons = append(a.ons, float64(c.SwitchOns))
+		a.offs = append(a.offs, float64(c.SwitchOffs))
+		a.lost = append(a.lost, c.LostRequests)
+	}
+	out := make([]Group, 0, len(order))
+	for _, k := range order {
+		a := accs[k]
+		out = append(out, Group{
+			Scenario: k.scenario, Trace: k.trace, Config: k.config, Fleet: k.fleet,
+			TotalJ:       report.Summarize(a.totalJ),
+			Availability: report.Summarize(a.avail),
+			Decisions:    report.Summarize(a.decisions),
+			SwitchOns:    report.Summarize(a.ons),
+			SwitchOffs:   report.Summarize(a.offs),
+			LostRequests: report.Summarize(a.lost),
+		})
+	}
+	return out
+}
+
+// SummaryCSV writes the grouped summary. With spread (a repeated
+// experiment), total_J and availability carry std and ci95 columns;
+// groups with a single sample (the shared bound cells) leave those cells
+// blank — visibly absent rather than a fake 0 or a NaN. Without spread
+// (repeats: 1) the spread columns are omitted entirely. All floats are
+// report.Float, so equal results give byte-equal files.
+func SummaryCSV(w io.Writer, groups []Group, spread bool) error {
+	headers := []string{"scenario", "trace", "config", "fleet_scale", "n", "total_J_mean"}
+	if spread {
+		headers = append(headers, "total_J_std", "total_J_ci95")
+	}
+	headers = append(headers, "availability_mean")
+	if spread {
+		headers = append(headers, "availability_std", "availability_ci95")
+	}
+	headers = append(headers, "decisions_mean", "switch_ons_mean", "switch_offs_mean", "lost_requests_mean")
+	rows := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		sp := func(s report.Stats) []string {
+			if !spread {
+				return nil
+			}
+			if s.N < 2 {
+				return []string{"", ""}
+			}
+			return []string{report.Float(s.Std), report.Float(s.CI95)}
+		}
+		row := []string{g.Scenario, g.Trace, g.Config, report.Float(g.Fleet),
+			fmt.Sprintf("%d", g.TotalJ.N), report.Float(g.TotalJ.Mean)}
+		row = append(row, sp(g.TotalJ)...)
+		row = append(row, report.Float(g.Availability.Mean))
+		row = append(row, sp(g.Availability)...)
+		row = append(row,
+			report.Float(g.Decisions.Mean),
+			report.Float(g.SwitchOns.Mean),
+			report.Float(g.SwitchOffs.Mean),
+			report.Float(g.LostRequests.Mean))
+		rows = append(rows, row)
+	}
+	return report.CSV(w, headers, rows)
+}
+
+// summaryRows renders the human-facing table form shared by table.txt and
+// table.tex: energies in kWh, availability in percent, spreads folded
+// into the value cells as "mean ± ci95".
+func summaryRows(groups []Group, spread bool) ([]string, [][]string) {
+	headers := []string{"scenario", "trace", "config", "fleet", "n", "total_kWh", "avail_%", "decisions"}
+	rows := make([][]string, 0, len(groups))
+	dash := func(s string) string {
+		if s == "" {
+			return "-"
+		}
+		return s
+	}
+	for _, g := range groups {
+		kwh := fmt.Sprintf("%.2f", g.TotalJ.Mean/3.6e6)
+		avail := fmt.Sprintf("%.4f", g.Availability.Mean*100)
+		if spread && g.TotalJ.N >= 2 {
+			kwh += fmt.Sprintf(" ± %.2f", g.TotalJ.CI95/3.6e6)
+			avail += fmt.Sprintf(" ± %.4f", g.Availability.CI95*100)
+		}
+		rows = append(rows, []string{
+			g.Scenario, dash(g.Trace), dash(g.Config), report.Float(g.Fleet),
+			fmt.Sprintf("%d", g.TotalJ.N), kwh, avail,
+			fmt.Sprintf("%.1f", g.Decisions.Mean),
+		})
+	}
+	return headers, rows
+}
+
+// writeAnalysis renders one experiment's artifacts from its merged cells.
+// On an incomplete experiment the summary is still written — from the
+// cells that did merge — but as summary.partial.csv, and every table
+// carries a PARTIAL banner naming how much of the grid it covers.
+func (r *Runner) writeAnalysis(res *ExperimentResult, exp Experiment, cells []sim.CellRecord, baseOf map[string]string) error {
+	create := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(res.Dir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if err := create("cells.csv", func(w io.Writer) error {
+		return report.SweepCSV(w, cells)
+	}); err != nil {
+		return err
+	}
+
+	groups := GroupCells(cells, baseOf)
+	spread := exp.repeats() > 1
+	partial := ""
+	if res.Incomplete {
+		partial = fmt.Sprintf("PARTIAL: %d of %d cells merged (%d missing, %d failed) — see cells.jsonl",
+			len(cells), res.Cells, len(res.Missing), len(res.Failed))
+	}
+
+	summaryName := "summary.csv"
+	if res.Incomplete {
+		summaryName = "summary.partial.csv"
+	}
+	res.Summary = filepath.Join(res.Dir, summaryName)
+	if err := create(summaryName, func(w io.Writer) error {
+		return SummaryCSV(w, groups, spread)
+	}); err != nil {
+		return err
+	}
+
+	headers, rows := summaryRows(groups, spread)
+	if err := create("table.txt", func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "experiment %s (n = repeats per config)\n", exp.Name); err != nil {
+			return err
+		}
+		if partial != "" {
+			if _, err := fmt.Fprintln(w, partial); err != nil {
+				return err
+			}
+		}
+		return report.Table(w, headers, rows)
+	}); err != nil {
+		return err
+	}
+
+	caption := fmt.Sprintf("Experiment %s", exp.Name)
+	if partial != "" {
+		caption += " (" + partial + ")"
+	}
+	if err := create("table.tex", func(w io.Writer) error {
+		return report.LaTeXTable(w, caption, "tab:"+exp.Name, headers, rows)
+	}); err != nil {
+		return err
+	}
+
+	return create("plot_total_kwh.txt", func(w io.Writer) error {
+		if partial != "" {
+			if _, err := fmt.Fprintln(w, partial); err != nil {
+				return err
+			}
+		}
+		bars := make([]report.ErrorBar, 0, len(groups))
+		for _, g := range groups {
+			label := g.Scenario
+			if g.Trace != "" {
+				label += "/" + g.Trace
+			}
+			if g.Config != "" {
+				label += "/" + g.Config
+			}
+			label += fmt.Sprintf("/fleet=%s", report.Float(g.Fleet))
+			bars = append(bars, report.ErrorBar{
+				Label: label,
+				Mean:  g.TotalJ.Mean / 3.6e6,
+				Err:   g.TotalJ.CI95 / 3.6e6,
+			})
+		}
+		if len(bars) == 0 {
+			_, err := fmt.Fprintln(w, "no merged cells to plot")
+			return err
+		}
+		return report.ErrorBarChart(w, fmt.Sprintf("experiment %s: total energy (kWh)", exp.Name), bars, 48)
+	})
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Repeat-aware aggregation for the paper pipeline: experiment grids run
+// each config as several seeded repeat cells (sim.RepeatConfigs), and the
+// analysis stage folds those repeats into mean/std/CI summaries. The
+// arithmetic lives here — next to the renderers that consume it — so the
+// summary CSVs, the text tables, and the LaTeX tables all report the same
+// numbers from the same fold.
+
+// Float renders a float64 in the shortest form that strconv.ParseFloat
+// parses back to the identical value ('g', precision -1). Every float in
+// a machine-readable artifact (sweep CSVs, summary CSVs) goes through
+// this one function, so equal results produce equal bytes and golden
+// diffs can use cmp(1).
+func Float(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Stats summarizes repeated measurements of one quantity.
+type Stats struct {
+	N    int
+	Mean float64
+	// Std is the sample standard deviation (n−1 denominator); zero — not
+	// NaN — when fewer than two samples exist, so single-repeat groups
+	// render as blank spread columns instead of poisoning CSVs with NaN.
+	Std float64
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval, 1.96·Std/√N; zero when N < 2.
+	CI95 float64
+}
+
+// Summarize folds samples in order (so equal inputs give bit-equal
+// output) into a Stats. An empty slice returns the zero Stats.
+func Summarize(samples []float64) Stats {
+	s := Stats{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	sum, allEqual := 0.0, true
+	for _, v := range samples {
+		sum += v
+		allEqual = allEqual && v == samples[0]
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	if allEqual {
+		// Repeats of a deterministic simulation are bit-identical; report
+		// their mean and spread exactly instead of the ~1e-17 rounding
+		// residue of sum-then-divide.
+		s.Mean = samples[0]
+		return s
+	}
+	ss := 0.0
+	for _, v := range samples {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// latexEscaper handles the characters that are special in LaTeX text mode
+// and realistically appear in axis names and numbers (config names allow
+// '_', traces are file basenames). Backslash itself is not escaped:
+// callers passing raw TeX in a cell get what they asked for.
+var latexEscaper = strings.NewReplacer(
+	"&", `\&`, "%", `\%`, "$", `\$`, "#", `\#`, "_", `\_`,
+	"{", `\{`, "}", `\}`, "~", `\textasciitilde{}`, "^", `\textasciicircum{}`,
+)
+
+// LaTeXTable writes rows as a self-contained LaTeX table environment —
+// left-aligned tabular with \hline rules, escaped cells, caption and
+// label when non-empty — ready to \input into the paper source without a
+// package dependency beyond the LaTeX kernel.
+func LaTeXTable(w io.Writer, caption, label string, headers []string, rows [][]string) error {
+	if len(headers) == 0 {
+		return fmt.Errorf("report: LaTeX table needs headers")
+	}
+	esc := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = latexEscaper.Replace(c)
+		}
+		return strings.Join(out, " & ")
+	}
+	if _, err := fmt.Fprintf(w, "\\begin{table}[t]\n\\centering\n\\begin{tabular}{%s}\n\\hline\n", strings.Repeat("l", len(headers))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s \\\\\n\\hline\n", esc(headers)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(headers) {
+			return fmt.Errorf("report: LaTeX table row has %d cells, want %d", len(row), len(headers))
+		}
+		if _, err := fmt.Fprintf(w, "%s \\\\\n", esc(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\\hline\n\\end{tabular}\n")
+	if err != nil {
+		return err
+	}
+	if caption != "" {
+		if _, err := fmt.Fprintf(w, "\\caption{%s}\n", latexEscaper.Replace(caption)); err != nil {
+			return err
+		}
+	}
+	if label != "" {
+		if _, err := fmt.Fprintf(w, "\\label{%s}\n", label); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "\\end{table}\n")
+	return err
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	// Hand-checked: mean 20, sample std 10, CI95 = 1.96·10/√3.
+	s := Summarize([]float64{10, 20, 30})
+	if s.N != 3 || s.Mean != 20 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-10) > 1e-12 {
+		t.Errorf("Std = %v, want 10", s.Std)
+	}
+	if want := 1.96 * 10 / math.Sqrt(3); math.Abs(s.CI95-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, want)
+	}
+
+	// One sample: a real mean, zero (never NaN) spread — the contract the
+	// repeats:1 summary columns depend on.
+	one := Summarize([]float64{42})
+	if one.N != 1 || one.Mean != 42 || one.Std != 0 || one.CI95 != 0 {
+		t.Errorf("Summarize(one) = %+v", one)
+	}
+	if zero := Summarize(nil); zero != (Stats{}) {
+		t.Errorf("Summarize(nil) = %+v", zero)
+	}
+
+	// Identical repeats: exactly zero spread (no catastrophic cancellation).
+	flat := Summarize([]float64{0.1, 0.1, 0.1})
+	if flat.Std != 0 || flat.CI95 != 0 {
+		t.Errorf("Summarize(flat) = %+v", flat)
+	}
+}
+
+func TestLaTeXTable(t *testing.T) {
+	var sb strings.Builder
+	err := LaTeXTable(&sb, "Total energy, 50% fleet", "tab:energy",
+		[]string{"config", "total_kWh"},
+		[][]string{{"default", "1.23"}, {"h1.3_oa", "1.10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"\\begin{table}[t]",
+		"\\begin{tabular}{ll}",
+		"config & total\\_kWh \\\\",
+		"default & 1.23 \\\\",
+		"h1.3\\_oa & 1.10 \\\\", // '_' escaped in cells
+		"\\caption{Total energy, 50\\% fleet}",
+		"\\label{tab:energy}",
+		"\\end{table}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LaTeX table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Caption/label are optional; ragged rows are an error.
+	sb.Reset()
+	if err := LaTeXTable(&sb, "", "", []string{"a"}, [][]string{{"1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "\\caption") || strings.Contains(sb.String(), "\\label") {
+		t.Errorf("empty caption/label still rendered:\n%s", sb.String())
+	}
+	if err := LaTeXTable(&sb, "", "", []string{"a", "b"}, [][]string{{"1"}}); err == nil {
+		t.Error("ragged row unexpectedly accepted")
+	}
+}
+
+func TestErrorBarChart(t *testing.T) {
+	var sb strings.Builder
+	bars := []ErrorBar{
+		{Label: "default", Mean: 10, Err: 2},
+		{Label: "h13", Mean: 6, Err: 0}, // single repeat: point, no whiskers
+	}
+	if err := ErrorBarChart(&sb, "total kWh", bars, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "total kWh (x max = 12)") {
+		t.Errorf("chart missing scaled title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, two bars, axis
+		t.Fatalf("chart has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "<") || !strings.Contains(lines[1], "*") || !strings.Contains(lines[1], ">") || !strings.Contains(lines[1], "10 +/- 2") {
+		t.Errorf("whiskered bar malformed: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "<") || !strings.Contains(lines[2], "*") || strings.Contains(lines[2], "+/-") {
+		t.Errorf("bare point grew whiskers: %q", lines[2])
+	}
+	// The starred mean of the larger bar sits right of the smaller one's.
+	if strings.IndexByte(lines[1], '*') <= strings.IndexByte(lines[2], '*') {
+		t.Errorf("bar positions not ordered by mean:\n%s", out)
+	}
+
+	if err := ErrorBarChart(&sb, "empty", nil, 40); err == nil {
+		t.Error("empty chart unexpectedly accepted")
+	}
+	if err := ErrorBarChart(&sb, "nan", []ErrorBar{{Label: "x", Mean: math.NaN()}}, 40); err == nil {
+		t.Error("NaN mean unexpectedly accepted")
+	}
+}

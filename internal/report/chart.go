@@ -102,3 +102,80 @@ func ASCIIChart(w io.Writer, title string, series []Series, width, height int) e
 	_, err := fmt.Fprintln(w, strings.Join(legend, "   "))
 	return err
 }
+
+// ErrorBar is one row of an error-bar chart: a labeled mean with a
+// symmetric half-width (typically a Stats.CI95). Err <= 0 draws a bare
+// point — single-repeat groups plot without whiskers instead of faking a
+// zero-width interval.
+type ErrorBar struct {
+	Label string
+	Mean  float64
+	Err   float64
+}
+
+// ErrorBarChart renders labeled means with symmetric whiskers as a
+// horizontal ASCII chart — the paper pipeline's plot format, keeping the
+// repo free of plotting dependencies. The X axis spans [0, max(mean+err)];
+// each row draws its interval as <-----*-----> at the scaled positions and
+// prints the numbers after the axis, so the plot stays readable even when
+// intervals are too narrow to resolve at terminal width.
+func ErrorBarChart(w io.Writer, title string, bars []ErrorBar, width int) error {
+	if len(bars) == 0 {
+		return fmt.Errorf("report: error-bar chart %q has no bars", title)
+	}
+	if width < 20 {
+		width = 20
+	}
+	maxX, labelW := 0.0, 0
+	for _, b := range bars {
+		if math.IsNaN(b.Mean) || math.IsInf(b.Mean, 0) || math.IsNaN(b.Err) || math.IsInf(b.Err, 0) {
+			return fmt.Errorf("report: error-bar chart %q: bar %q has invalid values", title, b.Label)
+		}
+		if b.Mean < 0 {
+			return fmt.Errorf("report: error-bar chart %q: bar %q has negative mean", title, b.Label)
+		}
+		if hi := b.Mean + b.Err; hi > maxX {
+			maxX = hi
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s (x max = %.4g)\n", title, maxX); err != nil {
+		return err
+	}
+	col := func(v float64) int {
+		c := int(math.Round(v / maxX * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	for _, b := range bars {
+		row := []byte(strings.Repeat(" ", width))
+		mid := col(b.Mean)
+		if b.Err > 0 {
+			lo, hi := col(b.Mean-b.Err), col(b.Mean+b.Err)
+			for i := lo; i <= hi; i++ {
+				row[i] = '-'
+			}
+			row[lo], row[hi] = '<', '>'
+		}
+		row[mid] = '*'
+		nums := fmt.Sprintf("%.4g", b.Mean)
+		if b.Err > 0 {
+			nums += fmt.Sprintf(" +/- %.4g", b.Err)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %s\n", labelW, b.Label, string(row), nums); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s +%s+\n", labelW, "", strings.Repeat("-", width))
+	return err
+}

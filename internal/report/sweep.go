@@ -123,7 +123,10 @@ func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
 }
 
 // SweepCSV writes merged sweep cells as a machine-readable series, one row
-// per cell in grid order.
+// per cell in grid order. Floats are written with Float — the shortest
+// form that parses back to the identical float64 — so two runs that
+// computed the same cells produce byte-identical CSVs and golden diffs
+// can use cmp(1) instead of tolerance-aware comparison.
 func SweepCSV(w io.Writer, cells []sim.CellRecord) error {
 	headers := []string{"cell", "scenario", "trace", "config", "config_hash", "fleet_scale", "total_J", "availability",
 		"decisions", "switch_ons", "switch_offs", "skipped", "lost_requests", "wall_ms"}
@@ -135,15 +138,15 @@ func SweepCSV(w io.Writer, cells []sim.CellRecord) error {
 			c.TraceName,
 			c.Config,
 			c.ConfigHash,
-			fmt.Sprintf("%g", c.FleetScale),
-			fmt.Sprintf("%.0f", c.TotalJ),
-			fmt.Sprintf("%.6f", c.Availability),
+			Float(c.FleetScale),
+			Float(c.TotalJ),
+			Float(c.Availability),
 			fmt.Sprintf("%d", c.Decisions),
 			fmt.Sprintf("%d", c.SwitchOns),
 			fmt.Sprintf("%d", c.SwitchOffs),
 			fmt.Sprintf("%d", c.Skipped),
-			fmt.Sprintf("%.0f", c.LostRequests),
-			fmt.Sprintf("%.1f", c.WallMS),
+			Float(c.LostRequests),
+			Float(c.WallMS),
 		})
 	}
 	return CSV(w, headers, rows)

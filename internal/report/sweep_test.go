@@ -1,6 +1,8 @@
 package report
 
 import (
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -90,6 +92,10 @@ func TestSweepTablePerConfigTotals(t *testing.T) {
 	}
 }
 
+// TestSweepCSV pins the CSV schema and its float formatting: every float
+// is rendered by Float (shortest exact form), so the written text parses
+// back to the identical float64 and equal results yield equal bytes —
+// the property the paper pipeline's golden cmp(1) diffs rely on.
 func TestSweepCSV(t *testing.T) {
 	var sb strings.Builder
 	if err := SweepCSV(&sb, sweepCells()); err != nil {
@@ -102,8 +108,49 @@ func TestSweepCSV(t *testing.T) {
 	if lines[0] != "cell,scenario,trace,config,config_hash,fleet_scale,total_J,availability,decisions,switch_ons,switch_offs,skipped,lost_requests,wall_ms" {
 		t.Errorf("header = %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[2], "b,bml,wc98-a,default,00000000000000cc,10,7200000,0.999500,12,5,4,1,42,2.5") {
+	if lines[2] != "b,bml,wc98-a,default,00000000000000cc,10,7.2e+06,0.9995,12,5,4,1,42,2.5" {
 		t.Errorf("row = %s", lines[2])
+	}
+}
+
+// TestSweepCSVFloatsRoundTrip feeds awkward float64s (values that %.6f or
+// %.0f would truncate) through SweepCSV and parses them back, asserting
+// bit-exact recovery. This is the regression fence for the fixed-precision
+// formatting the CSV used to use.
+func TestSweepCSVFloatsRoundTrip(t *testing.T) {
+	awkward := []float64{
+		1.0 / 3.0,
+		0.30000000000000004, // 0.1+0.2
+		123456789.123456789,
+		7.2e15,
+		5e-9, // %.6f would render this as 0.000000
+		math.Nextafter(1, 2),
+	}
+	for _, v := range awkward {
+		cell := sim.CellRecord{Schema: sim.CellSchema, ID: "x", Name: "x", Scenario: "bml",
+			FleetScale: 1, TotalJ: v, Availability: v, LostRequests: v, WallMS: v}
+		var sb strings.Builder
+		if err := SweepCSV(&sb, []sim.CellRecord{cell}); err != nil {
+			t.Fatal(err)
+		}
+		row := strings.Split(strings.TrimSpace(sb.String()), "\n")[1]
+		fields := strings.Split(row, ",")
+		for _, idx := range []int{6, 7, 12, 13} { // total_J, availability, lost_requests, wall_ms
+			got, err := strconv.ParseFloat(fields[idx], 64)
+			if err != nil {
+				t.Fatalf("field %d = %q: %v", idx, fields[idx], err)
+			}
+			if got != v {
+				t.Errorf("field %d: %q parses to %v, want exactly %v", idx, fields[idx], got, v)
+			}
+		}
+	}
+	// Float is the single formatting path; pin its shape directly too.
+	if got := Float(0.9995); got != "0.9995" {
+		t.Errorf("Float(0.9995) = %q", got)
+	}
+	if got := Float(7.2e6); got != "7.2e+06" {
+		t.Errorf("Float(7.2e6) = %q", got)
 	}
 }
 

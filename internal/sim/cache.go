@@ -21,7 +21,11 @@ import (
 // reproduce it. CellCache exploits that to make every sweep incremental —
 // a second ablation run over the same traces skips every cell it has
 // already paid for, and a one-line config edit recomputes only the edited
-// config's cells, because only their cfg= fingerprint changed.
+// config's cells, because only their cfg= fingerprint changed. Repeat
+// cells (RepeatConfigs) ride the same mechanism: each repeat's seed is
+// part of the canonical config serialization, so "repeats: 3" is just
+// three cache entries, and re-running a paper experiment spec against a
+// warm cache recomputes nothing.
 //
 // Two implementations share the interface: DirCache, a local directory
 // holding one JSONL record per ID (atomic rename on write, schema-v2

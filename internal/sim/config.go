@@ -55,7 +55,9 @@ var configNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
 // predictor=ewma), overhead-aware (bool), amortize (seconds, requires
 // overhead-aware=true), critical (bool: the §III critical-class app spec),
 // boot-fault ([0,1) fault-injection probability), fault-seed (int,
-// requires boot-fault). Names must be unique; an empty string yields the
+// requires boot-fault), repeat-seed (nonzero int: marks the config as one
+// repeat of a repeated experiment — normally set via RepeatConfigs, not by
+// hand). Names must be unique; an empty string yields the
 // default axis. Unlike the fleet axis, config order is preserved — it is
 // the row order of the ablation table — so workers and coordinator must be
 // given the same -configs string (any divergence changes cell IDs and is
@@ -191,6 +193,17 @@ func parseConfigSpec(spec string) (ConfigAxis, error) {
 		}
 		cfg.BootFaultProb = bf
 	}
+	if v, ok := kv["repeat-seed"]; ok {
+		delete(kv, "repeat-seed")
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return ConfigAxis{}, fmt.Errorf("repeat-seed=%q: %v", v, err)
+		}
+		if seed == 0 {
+			return ConfigAxis{}, fmt.Errorf("repeat-seed 0 is the unrepeated config; use a nonzero seed")
+		}
+		cfg.RepeatSeed = seed
+	}
 	if v, ok := kv["fault-seed"]; ok {
 		delete(kv, "fault-seed")
 		if !bfSet {
@@ -299,8 +312,15 @@ func CanonicalConfig(cfg BMLConfig) string {
 		}
 		overhead = strconv.FormatFloat(am, 'g', -1, 64)
 	}
-	return fmt.Sprintf("wf=%g;headroom=%g;pred=%s;app=%s;inv=%s;fault=%s;overhead=%s",
+	s := fmt.Sprintf("wf=%g;headroom=%g;pred=%s;app=%s;inv=%s;fault=%s;overhead=%s",
 		wf, headroom, predictorKind(cfg), appStr, inv, fault, overhead)
+	if cfg.RepeatSeed != 0 {
+		// Appended (never "rep=-") so every pre-repeat cache entry, journal,
+		// and the golden default fingerprint keep their identity: only cells
+		// that actually are repeats serialize differently.
+		s += fmt.Sprintf(";rep=%d", cfg.RepeatSeed)
+	}
+	return s
 }
 
 // predictorKind names the predictor a config runs under, for the canonical

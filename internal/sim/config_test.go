@@ -92,6 +92,9 @@ func TestCanonicalConfigNormalization(t *testing.T) {
 		{OverheadAware: true, AmortizeSeconds: 600},
 		{BootFaultProb: 0.01},
 		{BootFaultProb: 0.01, FaultSeed: 7},
+		{RepeatSeed: 1},
+		{RepeatSeed: 2},
+		{BootFaultProb: 0.01, FaultSeed: 7, RepeatSeed: 1},
 		{App: &spec},
 		{Inventory: map[string]int{"paravance": 4}},
 	}
@@ -155,6 +158,11 @@ func TestParseConfigs(t *testing.T) {
 	if err != nil || big[0].Config.FaultSeed != 9007199254740993 {
 		t.Errorf("large fault-seed = %+v, %v (float rounding?)", big, err)
 	}
+	// repeat-seed round-trips (the key RepeatConfigs-expanded specs carry).
+	rep, err := ParseConfigs("name=r:headroom=1.3:repeat-seed=5")
+	if err != nil || rep[0].Config.RepeatSeed != 5 {
+		t.Errorf("repeat-seed = %+v, %v", rep, err)
+	}
 	// Order is preserved (the ablation table's row order).
 	if axis[0].Name != "default" || axis[1].Name != "h13" {
 		t.Errorf("config order not preserved: %v, %v", axis[0].Name, axis[1].Name)
@@ -170,6 +178,8 @@ func TestParseConfigs(t *testing.T) {
 		"name=x:boot-fault=1.5",                   // probability out of range
 		"name=x:fault-seed=3",                     // seed without fault probability
 		"name=x:boot-fault=0.1:fault-seed=1.5",    // non-integer seed
+		"name=x:repeat-seed=0",                    // 0 means "not a repeat"
+		"name=x:repeat-seed=1.5",                  // non-integer repeat seed
 		"name=x:nonsense=1",                       // unknown key
 		"headroom=1.3",                            // missing name
 		"name=default:headroom=1.3",               // "default" is reserved for the zero config

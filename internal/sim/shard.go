@@ -370,3 +370,49 @@ func ParseFleets(s string) ([]int, error) {
 	sort.Ints(out)
 	return out, nil
 }
+
+// RepeatConfigs expands a configuration axis into repeated grid cells.
+// For repeats > 1 every config becomes `repeats` axis points named
+// "<name>.r1" … "<name>.r<repeats>" whose RepeatSeed runs baseSeed,
+// baseSeed+1, … — each repeat is therefore its own canonical v2 cell
+// (individually cached, sharded, and resumable), and a fault-injecting
+// config replays a distinct seeded fault schedule per repeat. repeats <= 1
+// returns the axis unchanged: a single-repeat experiment keeps ordinary
+// sweep cell identities, so its cells stay shareable with plain bmlsweep
+// runs of the same grid.
+//
+// The second return value maps every expanded axis name back to the base
+// config name it repeats (identity for repeats <= 1), so analysis stages
+// can group repeat cells without reverse-engineering name suffixes.
+//
+// Seeds must stay nonzero across the whole range — RepeatSeed 0 means "not
+// a repeat" and would collide with the unrepeated config's fingerprint —
+// and input configs must not already carry a RepeatSeed (double expansion
+// would silently merge distinct experiments' repeats).
+func RepeatConfigs(configs []ConfigAxis, repeats int, baseSeed int64) ([]ConfigAxis, map[string]string, error) {
+	baseOf := make(map[string]string, len(configs)*max(repeats, 1))
+	if repeats <= 1 {
+		for _, c := range configs {
+			baseOf[c.Name] = c.Name
+		}
+		return configs, baseOf, nil
+	}
+	out := make([]ConfigAxis, 0, len(configs)*repeats)
+	for _, c := range configs {
+		if c.Config.RepeatSeed != 0 {
+			return nil, nil, fmt.Errorf("sim: config %q already carries repeat-seed %d; cannot expand repeats twice", c.Name, c.Config.RepeatSeed)
+		}
+		for k := 0; k < repeats; k++ {
+			seed := baseSeed + int64(k)
+			if seed == 0 {
+				return nil, nil, fmt.Errorf("sim: repeat seed range [%d, %d] includes 0 (reserved for unrepeated cells); pick a base seed >= 1", baseSeed, baseSeed+int64(repeats)-1)
+			}
+			rc := c
+			rc.Name = fmt.Sprintf("%s.r%d", c.Name, k+1)
+			rc.Config.RepeatSeed = seed
+			baseOf[rc.Name] = c.Name
+			out = append(out, rc)
+		}
+	}
+	return out, baseOf, nil
+}

@@ -542,3 +542,82 @@ func TestFleetGridCanonical(t *testing.T) {
 		t.Error("negative fleet accepted")
 	}
 }
+
+// TestRepeatConfigs pins the repeat axis: expansion produces one axis
+// point per config × repeat with sequential nonzero seeds and distinct
+// fingerprints, the base-name map lets analysis group repeats without
+// parsing suffixes, and the degenerate/unsafe shapes (repeats <= 1, seed
+// ranges spanning 0, double expansion) behave as documented.
+func TestRepeatConfigs(t *testing.T) {
+	configs, err := ParseConfigs("default,name=flaky:boot-fault=0.2:fault-seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expanded, baseOf, err := RepeatConfigs(configs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"default.r1", "default.r2", "default.r3", "flaky.r1", "flaky.r2", "flaky.r3"}
+	if len(expanded) != len(wantNames) {
+		t.Fatalf("expanded %d points, want %d", len(expanded), len(wantNames))
+	}
+	fps := map[uint64]string{}
+	for i, c := range expanded {
+		if c.Name != wantNames[i] {
+			t.Errorf("expanded[%d].Name = %q, want %q", i, c.Name, wantNames[i])
+		}
+		wantSeed := int64(i%3 + 1)
+		if c.Config.RepeatSeed != wantSeed {
+			t.Errorf("%s: RepeatSeed = %d, want %d", c.Name, c.Config.RepeatSeed, wantSeed)
+		}
+		if !configNameRE.MatchString(c.Name) {
+			t.Errorf("expanded name %q does not satisfy the axis-name charset", c.Name)
+		}
+		fp := ConfigFingerprint(c.Config)
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("%s collides with %s: %s", c.Name, prev, CanonicalConfig(c.Config))
+		}
+		fps[fp] = c.Name
+	}
+	// Repeats never collide with the unexpanded configs' cells.
+	for _, c := range configs {
+		if prev, dup := fps[ConfigFingerprint(c.Config)]; dup {
+			t.Errorf("unexpanded %s shares a fingerprint with repeat %s", c.Name, prev)
+		}
+	}
+	// The canonical serialization carries the seed as a trailing component,
+	// so pre-repeat cache entries and journals keep their identity.
+	if got := CanonicalConfig(expanded[0].Config); !strings.HasSuffix(got, ";rep=1") {
+		t.Errorf("CanonicalConfig(default.r1) = %q, want ;rep=1 suffix", got)
+	}
+	for name, base := range map[string]string{"default.r2": "default", "flaky.r3": "flaky"} {
+		if baseOf[name] != base {
+			t.Errorf("baseOf[%q] = %q, want %q", name, baseOf[name], base)
+		}
+	}
+	// Fault-injecting repeats replay distinct schedules: the effective
+	// boot-fault seed is the config's fault seed offset by the repeat's.
+	if s := expanded[3].Config; s.FaultSeed+s.RepeatSeed == expanded[4].Config.FaultSeed+expanded[4].Config.RepeatSeed {
+		t.Error("flaky.r1 and flaky.r2 would replay the same fault schedule")
+	}
+
+	// repeats <= 1 is the identity: same cells as a plain sweep.
+	same, baseOf1, err := RepeatConfigs(configs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != len(configs) || same[0].Name != "default" || same[0].Config.RepeatSeed != 0 {
+		t.Errorf("repeats=1 must not rename or reseed: %+v", same)
+	}
+	if baseOf1["default"] != "default" || baseOf1["flaky"] != "flaky" {
+		t.Errorf("repeats=1 base map should be the identity: %v", baseOf1)
+	}
+
+	if _, _, err := RepeatConfigs(configs, 3, -1); err == nil {
+		t.Error("seed range spanning 0 must be rejected")
+	}
+	if _, _, err := RepeatConfigs(expanded, 2, 1); err == nil {
+		t.Error("double expansion must be rejected")
+	}
+}

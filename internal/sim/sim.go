@@ -167,6 +167,14 @@ type BMLConfig struct {
 	BootFaultProb float64
 	// FaultSeed makes boot-fault injection deterministic.
 	FaultSeed int64
+	// RepeatSeed distinguishes repeated runs of one configuration as
+	// distinct grid cells: a nonzero seed enters the canonical config
+	// serialization (and therefore the v2 cell ID) and is folded into
+	// the boot-fault schedule seed, so each repeat of a fault-injecting
+	// config replays its own seeded fault schedule while staying
+	// individually cacheable. Zero (the default) leaves cell identity
+	// untouched. See RepeatConfigs for the axis expansion.
+	RepeatSeed int64
 	// OverheadAware enables the future-work amortization policy on
 	// reconfiguration decisions.
 	OverheadAware bool
@@ -248,7 +256,9 @@ func buildBMLRig(tr *trace.Trace, planner *bml.Planner, cfg BMLConfig) (*sched.S
 		clOpts = append(clOpts, cluster.WithInventory(cfg.Inventory))
 	}
 	if cfg.BootFaultProb > 0 {
-		clOpts = append(clOpts, cluster.WithBootFaults(cfg.BootFaultProb, cfg.FaultSeed))
+		// The repeat seed offsets the fault schedule so each repeat cell
+		// observes independent (but individually reproducible) failures.
+		clOpts = append(clOpts, cluster.WithBootFaults(cfg.BootFaultProb, cfg.FaultSeed+cfg.RepeatSeed))
 	}
 	if cfg.ScanIndex {
 		clOpts = append(clOpts, cluster.WithScanIndex())

@@ -61,6 +61,9 @@ func main() {
 		out       = flag.String("out", "paper_runs", "parent directory for run artifacts")
 		stamp     = flag.String("stamp", "", "run directory name under -out (default: a UTC timestamp)")
 		cacheSpec = flag.String("cache", "", "content-addressed result cache, a local directory or a coordinator URL (http://...); warm re-runs recompute nothing")
+		run       = flag.String("run", "", "with a coordinator-URL -cache: address this named run (/v2/runs/{run}/cells) instead of the /v1 default run")
+		token     = flag.String("token", "", "with a coordinator-URL -cache: bearer token sent as Authorization: Bearer")
+		tlsCA     = flag.String("tls-ca", "", "with a coordinator-URL -cache: trust this PEM certificate (or CA bundle) for https://")
 		workers   = flag.Int("workers", 0, "concurrent cell simulations per experiment (0 = GOMAXPROCS)")
 		only      = flag.String("only", "", "run only these comma-separated experiment names from the spec")
 		validate  = flag.Bool("validate", false, "validate the spec and print the run plan without executing")
@@ -96,7 +99,23 @@ func main() {
 
 	var cache sim.CellCache
 	if *cacheSpec != "" {
-		if cache, err = sim.OpenCellCache(*cacheSpec); err != nil {
+		// A coordinator-URL cache may be a named run behind auth/TLS;
+		// directory caches ignore the options.
+		var cacheOpts []sim.CacheOption
+		if *run != "" {
+			cacheOpts = append(cacheOpts, sim.WithCacheRun(*run))
+		}
+		if *token != "" {
+			cacheOpts = append(cacheOpts, sim.WithCacheToken(*token))
+		}
+		if *tlsCA != "" {
+			client, cerr := sim.HTTPClientWithCA(*tlsCA)
+			if cerr != nil {
+				die(exitUsage, "%v", cerr)
+			}
+			cacheOpts = append(cacheOpts, sim.WithCacheClient(client))
+		}
+		if cache, err = sim.OpenCellCache(*cacheSpec, cacheOpts...); err != nil {
 			die(exitUsage, "%v", err)
 		}
 	}

@@ -82,33 +82,38 @@ func main() {
 	var traceFiles repeatedString
 	flag.Var(&traceFiles, "trace", "replay this trace file instead of generating (repeatable with -sweep: each file is one point of the grid's trace axis, named by its base filename)")
 	var (
-		days      = flag.Int("days", 92, "days to generate when no trace file is given")
-		first     = flag.Int("first", 0, "first evaluated day (default: paper's day 6)")
-		last      = flag.Int("last", 0, "last evaluated day (default: paper's day 92)")
-		peak      = flag.Float64("peak", 5000, "generated trace peak rate")
-		seed      = flag.Int64("seed", 1998, "generator seed")
-		csv       = flag.Bool("csv", false, "emit the Figure 5 CSV instead of the table")
-		headroom  = flag.Float64("headroom", 1, "prediction headroom factor (≥ 1)")
-		windowF   = flag.Float64("window-factor", 2, "look-ahead window as a multiple of the longest boot")
-		predName  = flag.String("predictor", "lookahead", "predictor: lookahead | oracle | lastvalue | ewma | pattern")
-		ewmaAlpha = flag.Float64("ewma-alpha", 0.1, "EWMA smoothing factor for -predictor ewma")
-		errLevel  = flag.Float64("error", 0, "injected relative prediction error (paper's future work)")
-		overhead  = flag.Bool("overhead-aware", false, "skip reconfigurations that cannot amortize their switching energy (future work)")
-		amortize  = flag.Float64("amortize", 0, "amortization horizon in seconds for -overhead-aware (0 = 378)")
-		critical  = flag.Bool("critical", false, "treat the application as QoS-critical (20% capacity headroom)")
-		chart     = flag.Bool("chart", false, "render the Figure 5 series as an ASCII chart")
-		engine    = flag.String("engine", "integrator", "simulation engine: integrator (interval integrator, default) | event (per-sample event engine) | tick (legacy 1 Hz differential oracle, slow)")
-		quantize  = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds (0 = raw 1 Hz trace)")
-		fleet     = flag.Int("fleet", 0, "scale the trace so the scheduler's peak fleet has ~N machines (0 = paper scale)")
-		sweep     = flag.Bool("sweep", false, "run the scenario × trace × fleet × config grid as a streaming sweep worker instead of the Figure 5 evaluation")
-		fleets    = flag.String("fleets", "", "comma-separated fleet targets for -sweep (default: the -fleet value)")
-		configs   = flag.String("configs", "", "with -sweep: comma-separated BML config axis, each \"default\" or colon-separated key=value pairs starting with name= (e.g. \"default,name=h13:headroom=1.3,name=oa:overhead-aware=true\"; keys: headroom, window-factor, predictor, ewma-alpha, overhead-aware, amortize, critical, boot-fault, fault-seed)")
-		shard     = flag.String("shard", "", "with -sweep: run only shard i/N of the grid (e.g. 0/4)")
-		outFile   = flag.String("out", "", "with -sweep: stream JSONL cell records to this file (default stdout)")
-		sink      = flag.String("sink", "", "with -sweep: also stream each cell to this bmlsweep ingest URL (POST <url>/v1/cells, retry/backoff)")
-		only      = flag.String("only", "", "with -sweep: run only the canonical cell IDs listed in this file (\"-\" = stdin) — feed a coordinator's GET /v1/pending output here to re-dispatch a crashed worker's cells")
-		cacheSpec = flag.String("cache", "", "with -sweep: content-addressed result cache, a local directory or a coordinator URL (http://...) — cells whose canonical ID already has a cached success are served from it without simulating, fresh successes are written back")
-		dieAfter  = flag.Int("die-after", 0, "with -sweep: abort the process (exit 3, no flush) after streaming N cells — fault injection for kill-and-resume end-to-end tests")
+		days       = flag.Int("days", 92, "days to generate when no trace file is given")
+		first      = flag.Int("first", 0, "first evaluated day (default: paper's day 6)")
+		last       = flag.Int("last", 0, "last evaluated day (default: paper's day 92)")
+		peak       = flag.Float64("peak", 5000, "generated trace peak rate")
+		seed       = flag.Int64("seed", 1998, "generator seed")
+		csv        = flag.Bool("csv", false, "emit the Figure 5 CSV instead of the table")
+		headroom   = flag.Float64("headroom", 1, "prediction headroom factor (≥ 1)")
+		windowF    = flag.Float64("window-factor", 2, "look-ahead window as a multiple of the longest boot")
+		predName   = flag.String("predictor", "lookahead", "predictor: lookahead | oracle | lastvalue | ewma | pattern")
+		ewmaAlpha  = flag.Float64("ewma-alpha", 0.1, "EWMA smoothing factor for -predictor ewma")
+		errLevel   = flag.Float64("error", 0, "injected relative prediction error (paper's future work)")
+		overhead   = flag.Bool("overhead-aware", false, "skip reconfigurations that cannot amortize their switching energy (future work)")
+		amortize   = flag.Float64("amortize", 0, "amortization horizon in seconds for -overhead-aware (0 = 378)")
+		critical   = flag.Bool("critical", false, "treat the application as QoS-critical (20% capacity headroom)")
+		chart      = flag.Bool("chart", false, "render the Figure 5 series as an ASCII chart")
+		engine     = flag.String("engine", "integrator", "simulation engine: integrator (interval integrator, default) | event (per-sample event engine) | tick (legacy 1 Hz differential oracle, slow)")
+		quantize   = flag.Int("quantize", 0, "hold the load constant over windows of this many seconds (0 = raw 1 Hz trace)")
+		fleet      = flag.Int("fleet", 0, "scale the trace so the scheduler's peak fleet has ~N machines (0 = paper scale)")
+		sweep      = flag.Bool("sweep", false, "run the scenario × trace × fleet × config grid as a streaming sweep worker instead of the Figure 5 evaluation")
+		fleets     = flag.String("fleets", "", "comma-separated fleet targets for -sweep (default: the -fleet value)")
+		configs    = flag.String("configs", "", "with -sweep: comma-separated BML config axis, each \"default\" or colon-separated key=value pairs starting with name= (e.g. \"default,name=h13:headroom=1.3,name=oa:overhead-aware=true\"; keys: headroom, window-factor, predictor, ewma-alpha, overhead-aware, amortize, critical, boot-fault, fault-seed)")
+		shard      = flag.String("shard", "", "with -sweep: run only shard i/N of the grid (e.g. 0/4)")
+		outFile    = flag.String("out", "", "with -sweep: stream JSONL cell records to this file (default stdout)")
+		sink       = flag.String("sink", "", "with -sweep: also stream each cell to this bmlsweep ingest URL (POST <url>/v1/cells, retry/backoff)")
+		only       = flag.String("only", "", "with -sweep: run only the canonical cell IDs listed in this file (\"-\" = stdin) — feed a coordinator's GET /v1/pending output here to re-dispatch a crashed worker's cells")
+		cacheSpec  = flag.String("cache", "", "with -sweep: content-addressed result cache, a local directory or a coordinator URL (http://...) — cells whose canonical ID already has a cached success are served from it without simulating, fresh successes are written back")
+		dieAfter   = flag.Int("die-after", 0, "with -sweep: abort the process (exit 3, no flush) after streaming N cells — fault injection for kill-and-resume end-to-end tests")
+		claim      = flag.Int("claim", 0, "with -sweep -sink: lease up to N pending cells at a time from the coordinator (POST /v2/runs/{run}/lease) instead of a static -shard split; posts renew the lease, and the loop repeats until the run completes")
+		runName    = flag.String("run", "", "with -sweep -sink: stream to this named run on a multi-run coordinator (/v2/runs/{run}/cells) instead of the /v1 default run")
+		token      = flag.String("token", "", "with -sweep: bearer token sent to the coordinator (Authorization: Bearer) on sink, lease, and coordinator-URL cache requests")
+		tlsCA      = flag.String("tls-ca", "", "with -sweep: trust this PEM certificate (or CA bundle) when the -sink/-cache coordinator is https://")
+		stallAfter = flag.Int("stall-after", 0, "with -sweep: hang the process (alive, leases held) after streaming N cells — fault injection for the coordinator's stalled-worker lease expiry")
 	)
 	flag.Parse()
 
@@ -117,13 +122,19 @@ func main() {
 	// running nothing.
 	var configAxis []sim.ConfigAxis
 	if !*sweep {
-		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only, "-configs": *configs, "-cache": *cacheSpec} {
+		for flagName, v := range map[string]string{"-shard": *shard, "-out": *outFile, "-fleets": *fleets, "-sink": *sink, "-only": *only, "-configs": *configs, "-cache": *cacheSpec, "-run": *runName, "-token": *token, "-tls-ca": *tlsCA} {
 			if v != "" {
 				log.Fatalf("%s requires -sweep", flagName)
 			}
 		}
 		if *dieAfter != 0 {
 			log.Fatal("-die-after requires -sweep")
+		}
+		if *claim != 0 {
+			log.Fatal("-claim requires -sweep")
+		}
+		if *stallAfter != 0 {
+			log.Fatal("-stall-after requires -sweep")
 		}
 		if len(traceFiles) > 1 {
 			log.Fatal("multiple -trace files form a grid axis and require -sweep")
@@ -135,12 +146,31 @@ func main() {
 			}
 		}
 		if *sink != "" {
-			if _, err := sim.NewHTTPSink(*sink); err != nil {
+			var sinkOpts []sim.SinkOption
+			if *runName != "" {
+				sinkOpts = append(sinkOpts, sim.WithSinkRun(*runName))
+			}
+			if _, err := sim.NewHTTPSink(*sink, sinkOpts...); err != nil {
 				log.Fatal(err)
 			}
 		}
+		if *claim < 0 {
+			log.Fatalf("invalid -claim %d", *claim)
+		}
+		if *claim > 0 && *sink == "" {
+			log.Fatal("-claim leases cells from a coordinator and requires -sink URL")
+		}
+		if *claim > 0 && (*shard != "" || *only != "") {
+			log.Fatal("-claim is coordinator-driven work stealing; it conflicts with the static -shard/-only splits")
+		}
 		if *dieAfter < 0 {
 			log.Fatalf("invalid -die-after %d", *dieAfter)
+		}
+		if *stallAfter < 0 {
+			log.Fatalf("invalid -stall-after %d", *stallAfter)
+		}
+		if *dieAfter > 0 && *stallAfter > 0 {
+			log.Fatal("use one fault injection at a time: -die-after or -stall-after")
 		}
 		var cerr error
 		if configAxis, cerr = sim.ParseConfigs(*configs); cerr != nil {
@@ -252,7 +282,11 @@ func main() {
 		if fleetAxis == "" {
 			fleetAxis = fmt.Sprintf("%d", *fleet)
 		}
-		runSweepMode(traces, configAxis, simOpts, fleetAxis, *shard, *outFile, *sink, *only, *cacheSpec, *dieAfter)
+		runSweepMode(traces, configAxis, simOpts, sweepOpts{
+			fleets: fleetAxis, shard: *shard, out: *outFile, sink: *sink,
+			only: *only, cacheSpec: *cacheSpec, run: *runName, token: *token,
+			tlsCA: *tlsCA, claim: *claim, dieAfter: *dieAfter, stallAfter: *stallAfter,
+		})
 		return
 	}
 

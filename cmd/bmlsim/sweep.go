@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/bml"
 	"repro/internal/profile"
@@ -27,6 +29,16 @@ import (
 // fleet-scaled grids far larger than one machine's memory run as N worker
 // processes whose outputs cmd/bmlsweep merges and validates.
 //
+// -claim N replaces the static shard split with coordinator-driven work
+// stealing: the worker repeatedly leases up to N pending cells from the
+// coordinator (POST /v2/runs/{run}/lease), streams them (every post
+// renews its leases — the heartbeat), and polls again until the run
+// completes. Workers join and leave freely, a fast host simply claims
+// more batches, and a stalled worker's cells become claimable again when
+// its lease TTL passes. -run names the coordinator run to work on
+// (default run otherwise); -token/-tls-ca authenticate and trust an
+// access-controlled or HTTPS coordinator.
+//
 // -cache DIR|URL puts a content-addressed result store in front of the
 // worker: cells whose canonical ID already has a cached success are
 // emitted straight to the sinks (marked "cached":true) without
@@ -36,18 +48,177 @@ import (
 // On SIGINT/SIGTERM the worker stops taking new cells, flushes the sinks
 // so every completed cell is durable, and exits 1. -die-after N instead
 // aborts the process the instant the Nth cell has been emitted — fault
-// injection for the kill-and-resume end-to-end tests (exit code 3).
+// injection for the kill-and-resume end-to-end tests (exit code 3) —
+// while -stall-after N hangs the process alive with its leases held, the
+// stalled-worker failure mode the coordinator's lease supervisor exists
+// for.
 
 // dieAfterExitCode distinguishes deliberate fault injection from real
 // failures in the resume end-to-end tests.
 const dieAfterExitCode = 3
 
-func runSweepMode(traces []sim.TraceAxis, configAxis []sim.ConfigAxis, simOpts []sim.Option, fleetsFlag, shardFlag, outPath, sinkURL, onlyPath, cacheSpec string, dieAfter int) {
+// sweepOpts carries -sweep's flag surface.
+type sweepOpts struct {
+	fleets     string // -fleets (or the -fleet fallback)
+	shard      string // -shard i/N
+	out        string // -out JSONL path
+	sink       string // -sink coordinator URL
+	only       string // -only cell-ID file
+	cacheSpec  string // -cache DIR|URL
+	run        string // -run: named coordinator run ("" = /v1 default run)
+	token      string // -token: bearer token for sink/lease/cache posts
+	tlsCA      string // -tls-ca: PEM trust anchor for https coordinators
+	claim      int    // -claim: lease up to N cells per poll (0 = shard mode)
+	dieAfter   int    // -die-after: abort (exit 3) after N emitted cells
+	stallAfter int    // -stall-after: hang (leases held) after N emitted cells
+}
+
+// clientWithCA resolves the worker's HTTP client once (plain unless
+// -tls-ca is given).
+func (o sweepOpts) clientWithCA() *http.Client {
+	client, err := sim.HTTPClientWithCA(o.tlsCA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return client
+}
+
+// sinkOptions renders the network identity shared by every coordinator
+// connection this worker makes.
+func (o sweepOpts) sinkOptions(worker string) []sim.SinkOption {
+	opts := []sim.SinkOption{sim.WithSinkWorker(worker), sim.WithSinkClient(o.clientWithCA())}
+	if o.run != "" {
+		opts = append(opts, sim.WithSinkRun(o.run))
+	}
+	if o.token != "" {
+		opts = append(opts, sim.WithSinkToken(o.token))
+	}
+	return opts
+}
+
+// openCache opens -cache with the same run/token/TLS addressing as the
+// sink (directory caches ignore the options).
+func (o sweepOpts) openCache() sim.CellCache {
+	if o.cacheSpec == "" {
+		return nil
+	}
+	cacheOpts := []sim.CacheOption{sim.WithCacheClient(o.clientWithCA())}
+	if o.run != "" {
+		cacheOpts = append(cacheOpts, sim.WithCacheRun(o.run))
+	}
+	if o.token != "" {
+		cacheOpts = append(cacheOpts, sim.WithCacheToken(o.token))
+	}
+	cache, err := sim.OpenCellCache(o.cacheSpec, cacheOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cache
+}
+
+// cellWorker is the per-process emit state shared by shard and claim
+// modes: the sink stack, the cache, the fault-injection counters, and the
+// graceful-shutdown flag.
+type cellWorker struct {
+	sinks      sim.MultiSink
+	cache      sim.CellCache
+	dieAfter   int
+	stallAfter int
+	stopping   atomic.Bool
+	done       int      // cells computed and emitted
+	hits       int      // cells served from cache
+	failed     int      // computed cells that ended in error
+	failedIDs  []string // their canonical IDs (claim mode skips re-claims)
+	total      int      // progress-line denominator (shard size / cells claimed)
+}
+
+// notifyStop arms the graceful-shutdown signal handler.
+func (w *cellWorker) notifyStop() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		log.Printf("received %v: finishing in-flight cells, flushing sinks", s)
+		w.stopping.Store(true)
+	}()
+}
+
+// serveFromCache emits every cached cell of batch straight to the sinks
+// and returns the misses — the cells that actually need simulating.
+func (w *cellWorker) serveFromCache(batch []sim.SweepJob) []sim.SweepJob {
+	if w.cache == nil {
+		return batch
+	}
+	var misses []sim.SweepJob
+	for _, j := range batch {
+		rec, ok, err := w.cache.Get(sim.CellID(j))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			misses = append(misses, j)
+			continue
+		}
+		rec.Cached = true
+		if err := w.sinks.Emit(rec); err != nil {
+			w.sinks.Close()
+			log.Fatal(err)
+		}
+		w.hits++
+		log.Printf("cell %s served from cache (%d/%d)", rec.Name, w.hits, w.total)
+	}
+	return misses
+}
+
+// stream simulates batch, emitting each cell as it completes — with cache
+// write-back before the emit (a cell acknowledged by the sinks must
+// already be hittable by the next run) and the fault-injection hooks.
+func (w *cellWorker) stream(batch []sim.SweepJob) error {
+	return sim.SweepStream(batch, 0, func(r sim.SweepResult) error {
+		rec := sim.NewCellRecord(r)
+		if w.cache != nil && r.Err == nil {
+			if perr := w.cache.Put(rec); perr != nil {
+				return perr
+			}
+		}
+		if err := w.sinks.Emit(rec); err != nil {
+			return err
+		}
+		w.done++
+		if r.Err != nil {
+			w.failed++
+			w.failedIDs = append(w.failedIDs, rec.ID)
+			log.Printf("cell %s failed: %v", r.Job.Name, r.Err)
+		} else {
+			log.Printf("cell %s done in %.1f ms (%d/%d)", r.Job.Name,
+				float64(r.Wall.Microseconds())/1e3, w.hits+w.done, w.total)
+		}
+		if w.dieAfter > 0 && w.done >= w.dieAfter {
+			// Simulated crash: no flush, no file close — exactly what the
+			// journal + pending-set resume machinery must tolerate.
+			log.Printf("fault injection: aborting after %d streamed cells", w.done)
+			os.Exit(dieAfterExitCode)
+		}
+		if w.stallAfter > 0 && w.done >= w.stallAfter {
+			// Simulated hang: the process stays alive holding its leases —
+			// no connection ever errors, so only lease expiry can free the
+			// cells. This is the failure the lease supervisor exists for.
+			log.Printf("fault injection: stalling after %d streamed cells (process alive, leases held)", w.done)
+			select {}
+		}
+		if w.stopping.Load() {
+			return sim.ErrStopStream
+		}
+		return nil
+	})
+}
+
+func runSweepMode(traces []sim.TraceAxis, configAxis []sim.ConfigAxis, simOpts []sim.Option, opts sweepOpts) {
 	planner, err := bml.NewPlanner(profile.PaperMachines())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fleets, err := sim.ParseFleets(fleetsFlag)
+	fleets, err := sim.ParseFleets(opts.fleets)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,9 +226,13 @@ func runSweepMode(traces []sim.TraceAxis, configAxis []sim.ConfigAxis, simOpts [
 	if err != nil {
 		log.Fatal(err)
 	}
+	if opts.claim > 0 {
+		runClaimMode(jobs, opts)
+		return
+	}
 	spec := sim.Whole
-	if shardFlag != "" {
-		if spec, err = sim.ParseShard(shardFlag); err != nil {
+	if opts.shard != "" {
+		if spec, err = sim.ParseShard(opts.shard); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -65,116 +240,54 @@ func runSweepMode(traces []sim.TraceAxis, configAxis []sim.ConfigAxis, simOpts [
 	if err != nil {
 		log.Fatal(err)
 	}
-	if onlyPath != "" {
-		shard = filterOnly(shard, jobs, onlyPath)
+	if opts.only != "" {
+		shard = filterOnly(shard, jobs, opts.only)
 	}
 
 	// Assemble the sink stack: -out file and/or -sink endpoint; plain
 	// stdout JSONL when neither is given.
-	var sinks sim.MultiSink
+	w := &cellWorker{dieAfter: opts.dieAfter, stallAfter: opts.stallAfter}
 	var outFile *os.File
-	if outPath != "" && outPath != "-" {
-		f, err := os.Create(outPath)
+	if opts.out != "" && opts.out != "-" {
+		f, err := os.Create(opts.out)
 		if err != nil {
 			log.Fatal(err)
 		}
 		outFile = f
-		sinks = append(sinks, sim.NewWriterSink(f))
+		w.sinks = append(w.sinks, sim.NewWriterSink(f))
 	}
-	if sinkURL != "" {
+	if opts.sink != "" {
 		// Identify this worker (host:pid:shard) so the coordinator's
 		// per-remote liveness view names which shard went quiet.
 		host, _ := os.Hostname()
 		worker := fmt.Sprintf("%s:%d:shard=%s", host, os.Getpid(), spec)
-		hs, err := sim.NewHTTPSink(sinkURL, sim.WithSinkWorker(worker))
+		hs, err := sim.NewHTTPSink(opts.sink, opts.sinkOptions(worker)...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sinks = append(sinks, hs)
+		w.sinks = append(w.sinks, hs)
 	}
-	if len(sinks) == 0 {
-		sinks = append(sinks, sim.NewWriterSink(os.Stdout))
+	if len(w.sinks) == 0 {
+		w.sinks = append(w.sinks, sim.NewWriterSink(os.Stdout))
 	}
 
 	// Result cache (-cache DIR|URL): cells whose canonical ID already has a
 	// cached success are emitted straight to the sinks — marked cached, so
 	// reports and the CI warm-pass gate can count them — and only the
 	// misses go through the simulator. Fresh successes are written back in
-	// the emit path below, so the instant a cell is durable on the sinks it
-	// is also hittable by the next run.
-	var cache sim.CellCache
-	owned := len(shard)
-	hits := 0
-	if cacheSpec != "" {
-		if cache, err = sim.OpenCellCache(cacheSpec); err != nil {
-			log.Fatal(err)
-		}
-		var misses []sim.SweepJob
-		for _, j := range shard {
-			rec, ok, cerr := cache.Get(sim.CellID(j))
-			if cerr != nil {
-				log.Fatal(cerr)
-			}
-			if !ok {
-				misses = append(misses, j)
-				continue
-			}
-			rec.Cached = true
-			if eerr := sinks.Emit(rec); eerr != nil {
-				sinks.Close()
-				log.Fatal(eerr)
-			}
-			hits++
-			log.Printf("cell %s served from cache (%d/%d)", rec.Name, hits, owned)
-		}
-		shard = misses
-	}
+	// the emit path, so the instant a cell is durable on the sinks it is
+	// also hittable by the next run.
+	w.cache = opts.openCache()
+	w.total = len(shard)
+	shard = w.serveFromCache(shard)
 
 	// Graceful shutdown: a signal stops new cells, but every cell already
 	// in flight is still emitted (sim.ErrStopStream drains the stream),
 	// then the sinks flush below — nothing already computed is discarded.
-	var stopping atomic.Bool
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigCh
-		log.Printf("received %v: finishing in-flight cells, flushing sinks", s)
-		stopping.Store(true)
-	}()
+	w.notifyStop()
 
-	done, failed := 0, 0
-	err = sim.SweepStream(shard, 0, func(r sim.SweepResult) error {
-		rec := sim.NewCellRecord(r)
-		if cache != nil && r.Err == nil {
-			// Write back before emitting: a cell acknowledged by the sinks
-			// must already be hittable by the next run.
-			if perr := cache.Put(rec); perr != nil {
-				return perr
-			}
-		}
-		if err := sinks.Emit(rec); err != nil {
-			return err
-		}
-		done++
-		if r.Err != nil {
-			failed++
-			log.Printf("cell %s failed: %v", r.Job.Name, r.Err)
-		} else {
-			log.Printf("cell %s done in %.1f ms (%d/%d)", r.Job.Name,
-				float64(r.Wall.Microseconds())/1e3, done, len(shard))
-		}
-		if dieAfter > 0 && done >= dieAfter {
-			// Simulated crash: no flush, no file close — exactly what the
-			// journal + pending-set resume machinery must tolerate.
-			log.Printf("fault injection: aborting after %d streamed cells", done)
-			os.Exit(dieAfterExitCode)
-		}
-		if stopping.Load() {
-			return sim.ErrStopStream
-		}
-		return nil
-	})
-	ferr := sinks.Close()
+	err = w.stream(shard)
+	ferr := w.sinks.Close()
 	if outFile != nil {
 		if cerr := outFile.Close(); cerr != nil && ferr == nil {
 			ferr = cerr
@@ -185,24 +298,142 @@ func runSweepMode(traces []sim.TraceAxis, configAxis []sim.ConfigAxis, simOpts [
 		if ferr != nil {
 			log.Fatalf("flush after interrupt: %v", ferr)
 		}
-		log.Fatalf("interrupted: %d/%d cells streamed and flushed; resume with the coordinator's /v1/pending set", done, len(shard))
+		log.Fatalf("interrupted: %d/%d cells streamed and flushed; resume with the coordinator's /v1/pending set", w.done, len(shard))
 	case err != nil:
 		log.Fatal(err)
 	case ferr != nil:
 		log.Fatal(ferr)
 	}
-	if cache != nil {
+	if w.cache != nil {
 		// The warm-pass CI gate greps this line to assert zero recomputed
 		// cells; keep "computed 0" spellable from it.
-		log.Printf("shard %s: cache served %d cells, computed %d", spec, hits, done)
+		log.Printf("shard %s: cache served %d cells, computed %d", spec, w.hits, w.done)
 	}
-	log.Printf("shard %s: streamed %d/%d cells of a %d-cell grid", spec, hits+done, owned, len(jobs))
-	if failed > 0 {
-		log.Fatalf("%d of %d cells failed", failed, len(shard))
+	log.Printf("shard %s: streamed %d/%d cells of a %d-cell grid", spec, w.hits+w.done, w.total, len(jobs))
+	if w.failed > 0 {
+		log.Fatalf("%d of %d cells failed", w.failed, len(shard))
 	}
-	if done != len(shard) {
-		log.Fatalf("streamed %d cells, expected %d", done, len(shard))
+	if w.done != len(shard) {
+		log.Fatalf("streamed %d cells, expected %d", w.done, len(shard))
 	}
+}
+
+// runClaimMode is the lease-based worker loop: claim up to -claim pending
+// cells from the coordinator run, stream them (each post renews the
+// worker's leases), and poll again until the run reports complete. The
+// claim endpoint hands out cells no other live worker holds, so any
+// number of claim workers share a run without a pre-agreed shard split.
+func runClaimMode(jobs []sim.SweepJob, opts sweepOpts) {
+	host, _ := os.Hostname()
+	worker := fmt.Sprintf("%s:%d:claim", host, os.Getpid())
+	w := &cellWorker{dieAfter: opts.dieAfter, stallAfter: opts.stallAfter}
+	hs, err := sim.NewHTTPSink(opts.sink, opts.sinkOptions(worker)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.sinks = sim.MultiSink{hs}
+	w.cache = opts.openCache()
+	w.notifyStop()
+	client := opts.clientWithCA()
+	// ClaimCells needs the run spelled explicitly — the bare-Ingest /v1
+	// surface has no lease endpoint, so the default run is addressed by
+	// its fleet name.
+	claimRun := opts.run
+	if claimRun == "" {
+		claimRun = "default"
+	}
+
+	byID := make(map[string]sim.SweepJob, len(jobs))
+	for _, j := range jobs {
+		byID[sim.CellID(j)] = j
+	}
+	// A failed cell stays pending on the coordinator and this worker still
+	// holds its lease, so the next claim would hand it straight back:
+	// skip cells this worker already attempted, and give up when nothing
+	// else is on offer rather than spin on deterministic failures.
+	attempted := make(map[string]bool)
+	interrupted := false
+	for !interrupted {
+		lr, err := sim.ClaimCells(client, opts.sink, claimRun, opts.token, worker, opts.claim)
+		if err != nil {
+			w.sinks.Close()
+			log.Fatal(err)
+		}
+		if len(lr.Cells) == 0 {
+			if lr.Complete {
+				break
+			}
+			// Every pending cell is leased to another live worker; poll
+			// again after a fraction of the TTL — a stalled peer's cells
+			// become claimable the moment its lease expires.
+			if w.stopping.Load() {
+				interrupted = true
+				break
+			}
+			time.Sleep(leasePoll(lr.TTLSeconds))
+			continue
+		}
+		var batch []sim.SweepJob
+		for _, id := range lr.Cells {
+			j, ok := byID[id]
+			if !ok {
+				log.Fatalf("claimed cell %q is not in this grid (mismatched grid flags between worker and coordinator?)", id)
+			}
+			if attempted[id] {
+				continue
+			}
+			batch = append(batch, j)
+		}
+		if len(batch) == 0 {
+			w.sinks.Close()
+			log.Fatalf("coordinator keeps offering %d cells this worker already failed; giving up", len(lr.Cells))
+		}
+		w.total += len(batch)
+		log.Printf("claimed %d cells (lease TTL %.0fs, %d still pending)", len(batch), lr.TTLSeconds, lr.Pending)
+		batch = w.serveFromCache(batch)
+		before := len(w.failedIDs)
+		err = w.stream(batch)
+		for _, id := range w.failedIDs[before:] {
+			attempted[id] = true
+		}
+		if errors.Is(err, sim.ErrStopStream) {
+			interrupted = true
+		} else if err != nil {
+			w.sinks.Close()
+			log.Fatal(err)
+		}
+	}
+	ferr := w.sinks.Close()
+	if interrupted {
+		if ferr != nil {
+			log.Fatalf("flush after interrupt: %v", ferr)
+		}
+		log.Fatalf("interrupted: %d cells streamed and flushed; the coordinator re-leases the rest", w.hits+w.done)
+	}
+	if ferr != nil {
+		log.Fatal(ferr)
+	}
+	if w.cache != nil {
+		log.Printf("claim worker %s: cache served %d cells, computed %d", worker, w.hits, w.done)
+	}
+	log.Printf("claim worker %s: run %s complete after streaming %d cells of a %d-cell grid", worker, claimRun, w.hits+w.done, len(jobs))
+	if w.failed > 0 {
+		log.Fatalf("%d of %d cells failed", w.failed, w.total)
+	}
+}
+
+// leasePoll picks the re-poll delay when all pending cells are leased
+// elsewhere: a fraction of the coordinator's TTL, bounded away from both
+// busy-polling and oversleeping expiry.
+func leasePoll(ttlSeconds float64) time.Duration {
+	d := time.Duration(ttlSeconds / 4 * float64(time.Second))
+	if d < 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 // filterOnly restricts shard to the canonical cell IDs listed in path (one

@@ -154,6 +154,16 @@ func main() {
 		wait       = flag.Duration("wait", 0, "with -serve: exit 1 after this long with the grid still incomplete (0 = wait forever)")
 		redispatch = flag.Int("redispatch", 2, "with -serve -spawn: rounds of pending-cell re-dispatch after the initial workers exit")
 		cacheSpec  = flag.String("cache", "", "content-addressed result cache, a local directory or a coordinator URL (http://...): cells already cached are served without re-simulating, merged successes are written back; spawned workers inherit the same cache")
+		run        = flag.String("run", "", "named run on a multi-run coordinator: -serve hosts the local grid under this name (default \"default\"), -register creates it remotely, and coordinator-URL caches address /v2/runs/{run} instead of the /v1 default run")
+		register   = flag.String("register", "", "create the named run (-run) on the fleet coordinator at this base URL from the grid's canonical cell IDs (PUT /v2/runs/{run}), then exit — no trace files needed server-side")
+		token      = flag.String("token", "", "bearer token: -serve requires it on the /v2 API (and on /v1 with -v1-auth); client modes send it as Authorization: Bearer")
+		runToken   = flag.String("run-token", "", "with -register: per-run bearer token accepted (alongside the coordinator's global -token) on the created run's endpoints")
+		v1Auth     = flag.Bool("v1-auth", false, "with -serve -token: require the token on the /v1 API too (default: /v1 stays open for pre-v2 workers)")
+		tlsCert    = flag.String("tls-cert", "", "with -serve: serve HTTPS with this PEM certificate (requires -tls-key); spawned workers automatically trust it")
+		tlsKey     = flag.String("tls-key", "", "with -serve: the PEM private key for -tls-cert")
+		tlsCA      = flag.String("tls-ca", "", "trust this PEM certificate (or CA bundle) when dialing an https:// coordinator (-register, coordinator-URL caches)")
+		leaseTTL   = flag.Duration("lease-ttl", sim.DefaultLeaseTTL, "with -serve: worker lease TTL — cells claimed via /v2/runs/{run}/lease whose worker stops posting for this long are reclaimed and re-dispatched")
+		journalDir = flag.String("journal-dir", "", "with -serve: directory of per-run JSONL journals (<run>.jsonl) for runs created remotely with -register")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -161,27 +171,46 @@ func main() {
 	files := flag.Args()
 	serveMode := *serve != ""
 	resumeMode := *resume != ""
+	registerMode := *register != ""
 	switch {
 	case serveMode && resumeMode:
 		die(exitUsage, "use either -serve (live coordinator, resumable via -journal) or -resume (offline re-dispatch), not both")
+	case registerMode && (serveMode || resumeMode):
+		die(exitUsage, "-register is a client of a remote coordinator; it conflicts with -serve and -resume")
 	case serveMode && len(files) > 0:
 		die(exitUsage, "-serve ingests records over HTTP; it does not take JSONL file arguments")
 	case resumeMode && len(files) > 0:
 		die(exitUsage, "-resume reads the journal; it does not take extra JSONL file arguments")
+	case registerMode && (len(files) > 0 || *spawn > 0):
+		die(exitUsage, "-register only creates the run remotely; workers stream it separately (bmlsim -sink URL -run NAME -claim N)")
 	case *journal != "" && !serveMode:
 		die(exitUsage, "-journal requires -serve (to read a journal back, use -resume)")
+	case *journalDir != "" && !serveMode:
+		die(exitUsage, "-journal-dir requires -serve")
 	case *wait != 0 && !serveMode:
 		die(exitUsage, "-wait requires -serve")
 	case *wait < 0:
 		die(exitUsage, "invalid -wait %v", *wait)
+	case *leaseTTL <= 0:
+		die(exitUsage, "invalid -lease-ttl %v", *leaseTTL)
+	case (*tlsCert != "") != (*tlsKey != ""):
+		die(exitUsage, "-tls-cert and -tls-key go together")
+	case *tlsCert != "" && !serveMode:
+		die(exitUsage, "-tls-cert/-tls-key require -serve (clients trust the coordinator with -tls-ca)")
+	case *v1Auth && !serveMode:
+		die(exitUsage, "-v1-auth requires -serve")
+	case *v1Auth && *token == "":
+		die(exitUsage, "-v1-auth requires -token (there is no token to require on /v1)")
+	case *runToken != "" && !registerMode:
+		die(exitUsage, "-run-token requires -register (with -serve, the default run uses the global -token)")
 	case *redispatch < 0:
 		die(exitUsage, "invalid -redispatch %d", *redispatch)
 	case *spawn < 0:
 		die(exitUsage, "invalid -spawn %d", *spawn)
 	case !serveMode && !resumeMode && *spawn > 0 && len(files) > 0:
 		die(exitUsage, "use either -spawn N or a list of JSONL files to merge, not both")
-	case !serveMode && !resumeMode && *spawn == 0 && len(files) == 0:
-		die(exitUsage, "nothing to do: give -spawn N, JSONL files to merge, -serve addr, or -resume journal (see -h)")
+	case !serveMode && !resumeMode && !registerMode && *spawn == 0 && len(files) == 0:
+		die(exitUsage, "nothing to do: give -spawn N, JSONL files to merge, -serve addr, -register URL, or -resume journal (see -h)")
 	}
 
 	grid := gridFlags{traceFiles: traceFiles, days: *days, peak: *peak,
@@ -211,14 +240,37 @@ func main() {
 	// cells themselves.
 	var cache sim.CellCache
 	if *cacheSpec != "" {
-		if cache, err = sim.OpenCellCache(*cacheSpec); err != nil {
+		// A coordinator-URL cache may itself be a named run behind auth/TLS;
+		// directory caches ignore the options.
+		var cacheOpts []sim.CacheOption
+		if *run != "" {
+			cacheOpts = append(cacheOpts, sim.WithCacheRun(*run))
+		}
+		if *token != "" {
+			cacheOpts = append(cacheOpts, sim.WithCacheToken(*token))
+		}
+		if *tlsCA != "" {
+			client, err := sim.HTTPClientWithCA(*tlsCA)
+			if err != nil {
+				die(exitUsage, "%v", err)
+			}
+			cacheOpts = append(cacheOpts, sim.WithCacheClient(client))
+		}
+		if cache, err = sim.OpenCellCache(*cacheSpec, cacheOpts...); err != nil {
 			die(exitUsage, "%v", err)
 		}
 	}
 
 	switch {
+	case registerMode:
+		os.Exit(runRegister(*register, jobs, *run, *runToken, *token, *tlsCA))
 	case serveMode:
-		os.Exit(runServe(*serve, jobs, *journal, *spawn, *bin, *dir, grid, *wait, *redispatch, *csv, cache, *cacheSpec))
+		os.Exit(runServe(serveConfig{
+			addr: *serve, run: *run, journal: *journal, journalDir: *journalDir,
+			token: *token, v1Auth: *v1Auth, tlsCert: *tlsCert, tlsKey: *tlsKey,
+			leaseTTL: *leaseTTL, spawnN: *spawn, bin: *bin, dir: *dir, grid: grid,
+			wait: *wait, redispatch: *redispatch, csv: *csv, cache: cache, cacheSpec: *cacheSpec,
+		}, jobs))
 	case resumeMode:
 		os.Exit(runResume(*resume, jobs, *spawn, *bin, *dir, grid, *csv, cache, *cacheSpec))
 	}
@@ -345,11 +397,21 @@ Modes:
   bmlsweep -spawn N <grid flags>              spawn N local workers, merge, report
   bmlsweep <grid flags> a.jsonl b.jsonl       merge worker JSONL files, report
   bmlsweep -serve addr [-journal j.jsonl] [-spawn N] [-wait d] <grid flags>
-      run the HTTP ingest coordinator (schema-versioned API: POST /v1/cells,
-      GET /v1/pending, GET /v1/status); workers stream to it with
-      `+"`bmlsim -sweep -sink http://addr`"+`. With -spawn, workers are launched
-      locally and pending cells are automatically re-dispatched when a
-      worker dies. Exits when the grid completes.
+      run the HTTP fleet coordinator. The local grid becomes the default
+      run, served byte-compatibly on the schema-versioned /v1 API (POST
+      /v1/cells, GET /v1/pending, GET /v1/status) for
+      `+"`bmlsim -sweep -sink http://addr`"+` workers; further named runs are
+      hosted concurrently on /v2/runs/{run}/... (journaled per run under
+      -journal-dir, guarded by -token, optionally over TLS). Workers may
+      also claim cells under a TTL lease (`+"`bmlsim -claim N`"+`); a stalled
+      worker's leases expire and its cells are re-dispatched. With -spawn,
+      workers are launched locally and pending cells are automatically
+      re-dispatched when a worker dies. Exits 0 when every hosted run
+      completes.
+  bmlsweep -register URL -run NAME <grid flags>
+      create the named run on a remote coordinator from the grid's
+      canonical cell IDs (PUT /v2/runs/{run}) — the coordinator never
+      needs the trace files — then exit.
   bmlsweep -resume j.jsonl [-spawn N] <grid flags>
       load a journal, compute the missing cell set against the
       re-enumerated grid, re-dispatch only those cells, merge, report.

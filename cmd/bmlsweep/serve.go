@@ -1,31 +1,53 @@
 package main
 
-// The network coordinator (-serve) and journal resume (-resume) modes.
+// The network coordinator (-serve), journal resume (-resume), and remote
+// run registration (-register) modes.
 //
-// -serve runs internal/sim's Ingest handler on a TCP listener: workers on
-// any host stream completed cells to POST /v1/cells (bmlsim -sink URL),
-// and every state-changing record is appended to the -journal JSONL file
-// before it is acknowledged. The pending set is always derivable as a set
-// difference — re-enumerated grid minus journaled successes — which is
-// what makes the whole construction resumable: restart the coordinator
-// with the same -journal and it primes itself from disk; or run
-// `bmlsweep -resume j.jsonl` to re-dispatch only the missing cells to
-// fresh local workers.
+// -serve runs internal/sim's Fleet handler on a TCP listener: the grid the
+// local flags describe becomes the default run (served byte-compatibly at
+// /v1/*, so pre-v2 workers keep working), and any number of further named
+// runs are hosted concurrently — created remotely with PUT /v2/runs/{run}
+// (bmlsweep -register) and journaled per run under -journal-dir. Workers
+// stream completed cells to POST /v1/cells or /v2/runs/{run}/cells
+// (bmlsim -sink URL [-run NAME]), and every state-changing record is
+// appended to the run's journal before it is acknowledged. The pending set
+// is always derivable as a set difference — re-enumerated grid minus
+// journaled successes — which is what makes the whole construction
+// resumable: restart the coordinator with the same -journal/-journal-dir
+// and it primes itself from disk; or run `bmlsweep -resume j.jsonl` to
+// re-dispatch only the missing cells to fresh local workers.
 //
 // With -spawn N the coordinator also launches the workers itself (each
 // told -sink back to the coordinator), and when they exit with cells
 // still pending — a crashed or killed worker — it re-dispatches just the
 // pending set (-redispatch rounds) before giving up with exit 1.
+//
+// The lease supervisor closes the stalled-worker gap the same way: cells
+// claimed under a TTL lease (bmlsim -claim) whose worker stops posting —
+// hung, not dead, so no connection ever errors — are reclaimed when the
+// lease expires, logged, and (for the default run, whose grid flags the
+// coordinator knows) re-dispatched to a locally spawned worker; other
+// runs' reclaimed cells return to the claimable pool for their own
+// workers' next poll.
+//
+// -token guards the /v2 surface with a bearer token (and /v1 too with
+// -v1-auth); -tls-cert/-tls-key serve HTTPS, with workers pointing
+// -tls-ca at the certificate.
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,18 +55,18 @@ import (
 	"repro/internal/sim"
 )
 
-// openJournal reads any records already in the journal (resuming an
+// openJournalFile reads any records already in the journal (resuming an
 // interrupted run) and opens it for appending. A truncated final line — a
 // coordinator killed mid-append, the very failure the journal recovers
 // from — is dropped with a warning; the half-written cell simply stays
 // pending and is re-dispatched.
-func openJournal(path string) (primed []sim.CellRecord, w io.Writer, closeFn func()) {
+func openJournalFile(path string) (primed []sim.CellRecord, w io.Writer, closeFn func(), err error) {
 	raw, err := os.ReadFile(path)
 	switch {
 	case err == nil:
 		var truncated bool
 		if primed, truncated, err = sim.ReadJournal(bytes.NewReader(raw)); err != nil {
-			die(exitUsage, "journal %s: %v", path, err)
+			return nil, nil, nil, fmt.Errorf("journal %s: %w", path, err)
 		}
 		if truncated {
 			log.Printf("journal %s: dropped a truncated final line (killed mid-append); its cell stays pending", path)
@@ -54,69 +76,156 @@ func openJournal(path string) (primed []sim.CellRecord, w io.Writer, closeFn fun
 			repair := path + ".repair"
 			tf, err := os.Create(repair)
 			if err != nil {
-				die(exitUsage, "%v", err)
+				return nil, nil, nil, err
 			}
 			for _, rec := range primed {
 				if err := sim.WriteCellRecord(tf, rec); err != nil {
-					die(exitUsage, "journal repair: %v", err)
+					return nil, nil, nil, fmt.Errorf("journal repair: %w", err)
 				}
 			}
 			if err := tf.Close(); err != nil {
-				die(exitUsage, "journal repair: %v", err)
+				return nil, nil, nil, fmt.Errorf("journal repair: %w", err)
 			}
 			if err := os.Rename(repair, path); err != nil {
-				die(exitUsage, "journal repair: %v", err)
+				return nil, nil, nil, fmt.Errorf("journal repair: %w", err)
 			}
 		}
 	case !os.IsNotExist(err):
-		die(exitUsage, "%v", err)
+		return nil, nil, nil, err
 	}
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		die(exitUsage, "%v", err)
+		return nil, nil, nil, err
 	}
-	return primed, f, func() { f.Close() }
+	return primed, f, func() { f.Close() }, nil
 }
 
-// runServe is the -serve mode: ingest streamed cells until the grid
-// completes (exit 0), the -wait budget elapses, a signal arrives, or
-// spawned workers finish with cells still pending after all re-dispatch
-// rounds (exit 1).
-func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, bin, dir string, grid gridFlags, wait time.Duration, redispatch int, csv bool, cache sim.CellCache, cacheSpec string) int {
+// openJournal is openJournalFile with this command's exit contract: any
+// journal problem is a usage/IO error.
+func openJournal(path string) (primed []sim.CellRecord, w io.Writer, closeFn func()) {
+	primed, w, closeFn, err := openJournalFile(path)
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
+	return primed, w, closeFn
+}
+
+// serveConfig carries -serve's flag surface.
+type serveConfig struct {
+	addr       string        // listen address
+	run        string        // default run's name ("" = "default")
+	journal    string        // default run's journal path
+	journalDir string        // per-run journals for remotely created runs
+	token      string        // global bearer token for /v2 ("" = open)
+	v1Auth     bool          // require the token on /v1 too
+	tlsCert    string        // serve HTTPS with this certificate...
+	tlsKey     string        // ...and key
+	leaseTTL   time.Duration // worker lease TTL
+	spawnN     int
+	bin, dir   string
+	grid       gridFlags
+	wait       time.Duration
+	redispatch int
+	csv        bool
+	cache      sim.CellCache
+	cacheSpec  string
+}
+
+// runName resolves the default run's name (the -run flag defaults to
+// empty so client modes can distinguish "unset" = /v1 compatibility).
+func (cfg serveConfig) runName() string {
+	if cfg.run == "" {
+		return "default"
+	}
+	return cfg.run
+}
+
+// workerNetArgs renders the network flags every spawned worker needs to
+// reach this coordinator: the sink URL, the shared cache, and — when the
+// surface is protected or TLS — the credential and trust flags.
+func (cfg serveConfig) workerNetArgs(sinkURL string) []string {
+	args := append([]string{"-sink", sinkURL}, cacheArgs(cfg.cacheSpec)...)
+	if cfg.token != "" {
+		args = append(args, "-token", cfg.token)
+	}
+	if cfg.tlsCert != "" {
+		// Spawned workers trust exactly the certificate we serve: the
+		// self-signed single-host deployment needs no separate CA.
+		args = append(args, "-tls-ca", cfg.tlsCert)
+	}
+	return args
+}
+
+// runServe is the -serve mode: host the default run (and any remotely
+// created ones) until every hosted run completes (exit 0), the -wait
+// budget elapses, a signal arrives, or spawned workers finish with cells
+// still pending after all re-dispatch rounds (exit 1).
+func runServe(cfg serveConfig, jobs []sim.SweepJob) int {
 	var journalW io.Writer
 	var primed []sim.CellRecord
-	if journalPath != "" {
+	if cfg.journal != "" {
 		var closeJournal func()
-		primed, journalW, closeJournal = openJournal(journalPath)
+		primed, journalW, closeJournal = openJournal(cfg.journal)
 		defer closeJournal()
 	}
-	ing := sim.NewIngest(jobs, journalW)
+	ingOpts := []sim.IngestOption{sim.WithJournal(journalW), sim.WithLeaseTTL(cfg.leaseTTL)}
+	if cfg.v1Auth {
+		ingOpts = append(ingOpts, sim.WithAuth(cfg.token))
+	}
+	ing := sim.NewIngest(jobs, ingOpts...)
 	if len(primed) > 0 {
 		n, err := ing.Prime(primed)
 		if err != nil {
 			log.Print(err)
 			return exitUsage
 		}
-		log.Printf("journal %s: resumed %d records covering %d cells", journalPath, len(primed), n)
+		log.Printf("journal %s: resumed %d records covering %d cells", cfg.journal, len(primed), n)
 	}
-	primeFromCache(ing, cache)
+	primeFromCache(ing, cfg.cache)
 
-	ln, err := net.Listen("tcp", addr)
+	fleetOpts := []sim.FleetOption{sim.WithFleetAuth(cfg.token), sim.WithFleetLeaseTTL(cfg.leaseTTL)}
+	if cfg.journalDir != "" {
+		if err := os.MkdirAll(cfg.journalDir, 0o755); err != nil {
+			log.Print(err)
+			return exitUsage
+		}
+		fleetOpts = append(fleetOpts, sim.WithJournalOpener(func(run string) ([]sim.CellRecord, io.Writer, error) {
+			// One JSONL journal per run; the file handle lives for the
+			// process (the run does too).
+			primed, w, _, err := openJournalFile(filepath.Join(cfg.journalDir, run+".jsonl"))
+			return primed, w, err
+		}))
+	}
+	fleet := sim.NewFleet(fleetOpts...)
+	if err := fleet.AddRun(cfg.runName(), ing); err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		log.Print(err)
 		return exitUsage
 	}
-	log.Printf("ingest listening on http://%s (POST /v1/cells, GET /v1/pending, GET /v1/status)", ln.Addr())
-	srv := &http.Server{Handler: ing}
-	go srv.Serve(ln)
+	scheme := "http"
+	srv := &http.Server{Handler: fleet}
+	if cfg.tlsCert != "" {
+		scheme = "https"
+		go srv.ServeTLS(ln, cfg.tlsCert, cfg.tlsKey)
+	} else {
+		go srv.Serve(ln)
+	}
 	defer srv.Close()
-	sinkURL := "http://" + ln.Addr().String()
+	log.Printf("ingest listening on %s://%s (default run %q: POST /v1/cells, GET /v1/pending, GET /v1/status; multi-run: GET/PUT /v2/runs)",
+		scheme, ln.Addr(), cfg.runName())
+	sinkURL := scheme + "://" + ln.Addr().String()
 
 	// With -spawn, launch the workers against our own ingest endpoint and
 	// re-dispatch the pending set when they die mid-grid. A journal that
 	// already covers the grid means there is nothing to run: spawning
 	// would orphan workers re-simulating whole shards only to POST to a
 	// coordinator that exited the moment the select loop saw Done.
+	spawnN := cfg.spawnN
 	var workersDone chan struct{}
 	if spawnN > 0 && ing.Status().Complete {
 		log.Printf("journal and cache already cover the grid; not spawning workers")
@@ -126,41 +235,79 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 		workersDone = make(chan struct{})
 		go func() {
 			defer close(workersDone)
-			spawnWorkers(spawnN, bin, dir, grid, append([]string{"-sink", sinkURL}, cacheArgs(cacheSpec)...), false)
-			for round := 1; round <= redispatch; round++ {
+			spawnWorkers(spawnN, cfg.bin, cfg.dir, cfg.grid, cfg.workerNetArgs(sinkURL), false)
+			for round := 1; round <= cfg.redispatch; round++ {
 				pending := ing.Pending()
 				if len(pending) == 0 {
 					return
 				}
-				log.Printf("re-dispatch round %d/%d: %d pending cells", round, redispatch, len(pending))
+				log.Printf("re-dispatch round %d/%d: %d pending cells", round, cfg.redispatch, len(pending))
 				pf := writePendingFile(pending)
-				spawnWorkers(1, bin, "", grid, append([]string{"-sink", sinkURL, "-only", pf}, cacheArgs(cacheSpec)...), false)
+				spawnWorkers(1, cfg.bin, "", cfg.grid, append(cfg.workerNetArgs(sinkURL), "-only", pf), false)
 				os.Remove(pf)
 			}
 		}()
 	}
 
+	// The lease supervisor: reclaim expired leases everywhere, and
+	// re-dispatch the default run's reclaimed cells to a local worker —
+	// the stalled-worker analogue of the dead-worker re-dispatch above.
+	go superviseLeases(fleet, cfg, sinkURL)
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	var timeout <-chan time.Time
-	if wait > 0 {
-		timeout = time.After(wait)
+	if cfg.wait > 0 {
+		timeout = time.After(cfg.wait)
 	}
 	progress := time.NewTicker(10 * time.Second)
 	defer progress.Stop()
 
+	finish := func() int {
+		// Drain gracefully before reporting: the POST that completed the
+		// last grid may still be writing its acknowledgement, and tearing
+		// the listener down under it would make the finishing worker see a
+		// spurious connection error and retry against a dead port.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(shutdownCtx)
+		cancel()
+		if runs := fleet.Statuses(); len(runs) > 1 {
+			report.FleetStatus(os.Stderr, runs)
+		}
+		return finishServe(ing, jobs, cfg.csv, cfg.cache)
+	}
+	diagnose := func() {
+		report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+		if runs := fleet.Statuses(); len(runs) > 1 {
+			report.FleetStatus(os.Stderr, runs)
+		}
+	}
+
+	doneCh := ing.Done()
+	var fleetPoll *time.Ticker
+	var fleetPollC <-chan time.Time
+	defer func() {
+		if fleetPoll != nil {
+			fleetPoll.Stop()
+		}
+	}()
 	for {
 		select {
-		case <-ing.Done():
-			// Drain gracefully before reporting: the POST that completed
-			// the grid may still be writing its acknowledgement, and
-			// tearing the listener down under it would make the finishing
-			// worker see a spurious connection error and retry against a
-			// dead port.
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			srv.Shutdown(shutdownCtx)
-			cancel()
-			return finishServe(ing, jobs, csv, cache)
+		case <-doneCh:
+			if fleet.AllComplete() {
+				return finish()
+			}
+			// The default run is done but other hosted runs are still being
+			// fed; poll for fleet-wide completion (runs complete via worker
+			// POSTs, so there is no single channel to select on).
+			doneCh = nil
+			log.Printf("default run %q complete; waiting for the other hosted runs", cfg.runName())
+			fleetPoll = time.NewTicker(500 * time.Millisecond)
+			fleetPollC = fleetPoll.C
+		case <-fleetPollC:
+			if fleet.AllComplete() {
+				return finish()
+			}
 		case <-workersDone:
 			// Both channels may be ready; prefer the completion path.
 			if ing.Status().Complete {
@@ -168,15 +315,15 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 				continue
 			}
 			log.Printf("spawned workers exited with the grid incomplete")
-			report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+			diagnose()
 			return exitIncomplete
 		case <-timeout:
-			log.Printf("-wait %v elapsed with the grid incomplete", wait)
-			report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+			log.Printf("-wait %v elapsed with the grid incomplete", cfg.wait)
+			diagnose()
 			return exitIncomplete
 		case s := <-sigCh:
 			log.Printf("received %v with the grid incomplete; journal preserved for -resume", s)
-			report.SweepStatus(os.Stderr, ing.Status(), ing.Pending())
+			diagnose()
 			return exitIncomplete
 		case <-progress.C:
 			st := ing.Status()
@@ -184,9 +331,67 @@ func runServe(addr string, jobs []sim.SweepJob, journalPath string, spawnN int, 
 			// Liveness: a worker whose age keeps growing while cells are
 			// pending is stalled, even though its connection never died.
 			for _, r := range st.Remotes {
-				log.Printf("  worker %s: %d records, last ingest %.0fs ago", r.Remote, r.Records, r.LastIngestAgeSeconds)
+				held := ""
+				if r.Leased > 0 {
+					held = fmt.Sprintf(", holds %d leases", r.Leased)
+				}
+				log.Printf("  worker %s: %d records, last ingest %.0fs ago%s", r.Remote, r.Records, r.LastIngestAgeSeconds, held)
+			}
+			if runs := fleet.Statuses(); len(runs) > 1 {
+				report.FleetStatus(os.Stderr, runs)
 			}
 		}
+	}
+}
+
+// superviseLeases runs the claim → heartbeat → expire loop's last leg:
+// periodically reclaim every expired lease across the fleet (the cells
+// return to the claimable pool immediately), and re-dispatch the default
+// run's reclaimed cells to a locally spawned -only worker — the
+// coordinator knows that run's grid flags, so a stalled worker cannot
+// hold the grid open even when no healthy claiming worker remains. Other
+// runs were created from cell IDs alone, so their reclaimed cells wait
+// for their own workers' next claim poll instead. Re-dispatch rounds are
+// budgeted by -redispatch, mirroring the dead-worker path.
+func superviseLeases(fleet *sim.Fleet, cfg serveConfig, sinkURL string) {
+	tick := cfg.leaseTTL / 4
+	if tick <= 0 {
+		tick = sim.DefaultLeaseTTL / 4
+	}
+	if tick < 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	if tick > 10*time.Second {
+		tick = 10 * time.Second
+	}
+	budget := cfg.redispatch
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for range ticker.C {
+		expired := fleet.ExpireAll()
+		if len(expired) == 0 {
+			continue
+		}
+		for run, byWorker := range expired {
+			for worker, ids := range byWorker {
+				log.Printf("lease supervisor: run %s: reclaimed %d cells from stalled worker %s", run, len(ids), worker)
+			}
+		}
+		byWorker, ok := expired[cfg.runName()]
+		if !ok || budget <= 0 {
+			continue
+		}
+		var ids []string
+		for _, cells := range byWorker {
+			ids = append(ids, cells...)
+		}
+		budget--
+		log.Printf("lease supervisor: re-dispatching %d reclaimed cells to a local worker (%d rounds left)", len(ids), budget)
+		pf := writePendingFile(ids)
+		// Synchronous: one re-dispatch worker at a time, and its posts win
+		// or dedup against whatever the stalled worker eventually sends.
+		spawnWorkers(1, cfg.bin, "", cfg.grid, append(cfg.workerNetArgs(sinkURL), "-only", pf), false)
+		os.Remove(pf)
 	}
 }
 
@@ -241,7 +446,7 @@ func primeFromCache(ing *sim.Ingest, cache sim.CellCache) {
 func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir string, grid gridFlags, csv bool, cache sim.CellCache, cacheSpec string) int {
 	primed, journalW, closeJournal := openJournal(journalPath)
 	defer closeJournal()
-	ing := sim.NewIngest(jobs, journalW)
+	ing := sim.NewIngest(jobs, sim.WithJournal(journalW))
 	if _, err := ing.Prime(primed); err != nil {
 		log.Print(err)
 		return exitUsage
@@ -288,4 +493,58 @@ func runResume(journalPath string, jobs []sim.SweepJob, spawnN int, bin, dir str
 		len(cells), stats.Duplicates)
 	writeBackCache(cache, cells)
 	return render(cells, csv)
+}
+
+// runRegister is the -register mode: create (or idempotently re-assert)
+// the named run on a remote fleet coordinator from this grid's canonical
+// cell IDs — PUT /v2/runs/{run}. The coordinator needs only the IDs, not
+// the trace files: they are pure functions of the grid, so workers
+// enumerating the same grid flags will stream exactly these cells.
+func runRegister(base string, jobs []sim.SweepJob, run, runToken, token, tlsCA string) int {
+	name := run
+	if name == "" {
+		name = "default"
+	}
+	client, err := sim.HTTPClientWithCA(tlsCA)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	body, err := json.Marshal(sim.RunSpec{Cells: sim.CellIDs(jobs), Token: runToken})
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	endpoint := strings.TrimRight(base, "/") + "/v2/runs/" + url.PathEscape(name)
+	req, err := http.NewRequest(http.MethodPut, endpoint, bytes.NewReader(body))
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		log.Printf("coordinator rejected run %q: %s: %s", name, resp.Status, strings.TrimSpace(string(raw)))
+		return exitUsage
+	}
+	var rs sim.RunStatus
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		log.Printf("coordinator response unparsable: %v", err)
+		return exitUsage
+	}
+	verb := "already registered"
+	if resp.StatusCode == http.StatusCreated {
+		verb = "registered"
+	}
+	log.Printf("run %s %s on %s: %d cells (%d already covered)", name, verb, base, rs.Status.Total, rs.Status.Received)
+	return exitComplete
 }

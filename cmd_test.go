@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -963,4 +964,257 @@ func TestCmdBMLPaper(t *testing.T) {
 	if strings.Contains(only, "experiment ablation") || !strings.Contains(only, "experiment faults: 5 cells (cache served 5, computed 0)") {
 		t.Errorf("-only run wrong:\n%s", only)
 	}
+}
+
+// fleetLog is a mutex-guarded line sink: the coordinator's stderr is
+// drained by a goroutine while the test asserts on supervisor lines.
+type fleetLog struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (l *fleetLog) add(line string) {
+	l.mu.Lock()
+	l.sb.WriteString(line + "\n")
+	l.mu.Unlock()
+}
+
+func (l *fleetLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sb.String()
+}
+
+// startCoordinator launches a bmlsweep fleet coordinator on an ephemeral
+// port, waits for the announced base URL, and keeps draining stderr into
+// the returned log. The returned wait func asserts a clean exit 0 — the
+// every-hosted-run-complete leg of the exit-code contract.
+func startCoordinator(t *testing.T, args ...string) (baseURL string, logBuf *fleetLog, stdout *strings.Builder, wait func()) {
+	t.Helper()
+	cmd := exec.Command(cmdBinary(t, "bmlsweep"), append([]string{"-serve", "127.0.0.1:0"}, args...)...)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout = &strings.Builder{}
+	cmd.Stdout = stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	logBuf = &fleetLog{}
+	sc := bufio.NewScanner(stderrPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		logBuf.add(line)
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			baseURL = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("coordinator never announced its address:\n%s", logBuf.String())
+	}
+	go func() {
+		for sc.Scan() {
+			logBuf.add(sc.Text())
+		}
+	}()
+	wait = func() {
+		t.Helper()
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("coordinator exited with %v (want 0):\n%s", err, logBuf.String())
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatal("coordinator did not exit after every hosted run completed")
+		}
+	}
+	return baseURL, logBuf, stdout, wait
+}
+
+// httpGet issues a GET with an optional bearer token.
+func httpGet(t *testing.T, url, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestCmdFleetMultiRunAuthRegisterClaim is the multi-tenant acceptance
+// path with real processes: one coordinator hosts its local grid as a
+// named run behind a global bearer token, a second run is registered
+// remotely from cell IDs alone with its own per-run token, claim workers
+// complete both runs concurrently-hosted, and the coordinator exits 0
+// with per-run journals isolated under -journal-dir.
+func TestCmdFleetMultiRunAuthRegisterClaim(t *testing.T) {
+	dir := t.TempDir()
+	journals := filepath.Join(dir, "journals")
+	token := "fleet-secret"
+	runBGrid := []string{"-days", "1", "-quantize", "600", "-fleets", "25"}
+
+	baseURL, slog, stdout, wait := startCoordinator(t,
+		append([]string{"-run", "alpha", "-journal", filepath.Join(dir, "alpha.jsonl"),
+			"-journal-dir", journals, "-token", token, "-wait", "180s"}, sweepGridArgs...)...)
+
+	// The /v2 surface is guarded: unauthenticated probes get 401 (with a
+	// challenge, no run names leaked); the token opens it; /v1 stays open
+	// for pre-v2 workers.
+	resp := httpGet(t, baseURL+"/v2/runs", "")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusUnauthorized || resp.Header.Get("WWW-Authenticate") == "" {
+		t.Fatalf("unauthenticated /v2/runs: %s", resp.Status)
+	}
+	resp = httpGet(t, baseURL+"/v2/runs", token)
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"alpha"`) {
+		t.Fatalf("authenticated /v2/runs: %s: %s", resp.Status, body)
+	}
+	resp = httpGet(t, baseURL+"/v1/status", "")
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"complete":false`) {
+		t.Fatalf("/v1 should stay open without -v1-auth: %s: %s", resp.Status, body)
+	}
+
+	// Remote run creation needs the token (exit 2 without it) and only the
+	// grid flags — the coordinator never sees run beta's trace files.
+	out := runCmdExit(t, 2, "bmlsweep",
+		append([]string{"-register", baseURL, "-run", "beta", "-token", "wrong"}, runBGrid...)...)
+	if !strings.Contains(out, "rejected") {
+		t.Errorf("bad-token register not rejected:\n%s", out)
+	}
+	out = runCmdExit(t, 0, "bmlsweep", append([]string{"-register", baseURL, "-run", "beta",
+		"-token", token, "-run-token", "beta-secret"}, runBGrid...)...)
+	if !strings.Contains(out, "registered") {
+		t.Errorf("register summary missing:\n%s", out)
+	}
+
+	// Claim workers complete both runs: alpha under the global token, beta
+	// under its per-run token.
+	out = runCmd(t, "bmlsim", append([]string{"-sweep", "-sink", baseURL, "-run", "alpha",
+		"-claim", "4", "-token", token}, sweepGridArgs...)...)
+	if !strings.Contains(out, "run alpha complete after streaming 8 cells of a 8-cell grid") {
+		t.Errorf("alpha claim worker summary missing:\n%s", out)
+	}
+	out = runCmd(t, "bmlsim", append([]string{"-sweep", "-sink", baseURL, "-run", "beta",
+		"-claim", "4", "-token", "beta-secret"}, runBGrid...)...)
+	if !strings.Contains(out, "run beta complete after streaming 4 cells of a 4-cell grid") {
+		t.Errorf("beta claim worker summary missing:\n%s", out)
+	}
+
+	wait()
+	if !strings.Contains(stdout.String(), "8 cells") {
+		t.Errorf("coordinator report missing the default run's grid:\n%s", stdout.String())
+	}
+	if !strings.Contains(slog.String(), "run beta: 4/4 cells received (0 pending, 0 failed) — complete") {
+		t.Errorf("fleet status missing run beta:\n%s", slog.String())
+	}
+
+	// Journal isolation: beta journals under -journal-dir, alpha under its
+	// own -journal path, and each resumes independently with nothing to
+	// re-dispatch.
+	if _, err := os.Stat(filepath.Join(journals, "alpha.jsonl")); !os.IsNotExist(err) {
+		t.Errorf("default run leaked a journal into -journal-dir: %v", err)
+	}
+	out = runCmdExit(t, 0, "bmlsweep",
+		append([]string{"-resume", filepath.Join(journals, "beta.jsonl")}, runBGrid...)...)
+	if !strings.Contains(out, "4 cells") || strings.Contains(out, "re-dispatching") {
+		t.Errorf("beta journal resume wrong:\n%s", out)
+	}
+	out = runCmdExit(t, 0, "bmlsweep",
+		append([]string{"-resume", filepath.Join(dir, "alpha.jsonl")}, sweepGridArgs...)...)
+	if !strings.Contains(out, "8 cells") || strings.Contains(out, "re-dispatching") {
+		t.Errorf("alpha journal resume wrong:\n%s", out)
+	}
+}
+
+// TestCmdFleetStalledWorkerLeaseRedispatch pins the fix for a stalled
+// (hung, not dead) worker holding the grid open forever: the worker
+// claims the whole grid under a short lease, streams one cell, then hangs
+// alive with its leases held — no connection ever errors — and the
+// coordinator's lease supervisor must expire the leases, reclaim the
+// cells, re-dispatch them to a local worker, and exit 0 with the full
+// report.
+func TestCmdFleetStalledWorkerLeaseRedispatch(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.jsonl")
+	baseURL, slog, stdout, wait := startCoordinator(t,
+		append([]string{"-journal", journal, "-lease-ttl", "1s", "-wait", "180s",
+			"-bin", cmdBinary(t, "bmlsim")}, sweepGridArgs...)...)
+
+	stalled := exec.Command(cmdBinary(t, "bmlsim"),
+		append([]string{"-sweep", "-sink", baseURL, "-claim", "8", "-stall-after", "1"}, sweepGridArgs...)...)
+	var stalledOut strings.Builder
+	stalled.Stdout = &stalledOut
+	stalled.Stderr = &stalledOut
+	if err := stalled.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Process.Kill()
+
+	wait()
+	for _, want := range []string{
+		"reclaimed 7 cells from stalled worker",
+		"re-dispatching 7 reclaimed cells",
+	} {
+		if !strings.Contains(slog.String(), want) {
+			t.Errorf("lease supervisor log missing %q:\n%s", want, slog.String())
+		}
+	}
+	if !strings.Contains(stdout.String(), "8 cells") {
+		t.Errorf("coordinator report missing the full grid:\n%s", stdout.String())
+	}
+
+	// The stalled process is still alive (leases held, select{}); reap it
+	// and confirm it really was the stall fault injection.
+	stalled.Process.Kill()
+	stalled.Wait()
+	if !strings.Contains(stalledOut.String(), "fault injection: stalling after 1 streamed cells") {
+		t.Errorf("stalled worker did not report the stall:\n%s", stalledOut.String())
+	}
+
+	// The journal the supervisor converged merges to the complete grid.
+	out := runCmdExit(t, 0, "bmlsweep", append([]string{"-resume", journal}, sweepGridArgs...)...)
+	if !strings.Contains(out, "8 cells") || strings.Contains(out, "re-dispatching") {
+		t.Errorf("post-reclaim journal resume wrong:\n%s", out)
+	}
+}
+
+// TestCmdFleetFlagValidation pins the new flags' usage contract: claim
+// mode's preconditions on the worker, and the coordinator's fleet flags
+// rejecting modes they do not belong to (exit 2).
+func TestCmdFleetFlagValidation(t *testing.T) {
+	out := runCmdErr(t, "bmlsim", "-claim", "2")
+	if !strings.Contains(out, "requires -sweep") {
+		t.Errorf("-claim without -sweep not rejected:\n%s", out)
+	}
+	out = runCmdErr(t, "bmlsim", "-sweep", "-claim", "2", "-days", "1")
+	if !strings.Contains(out, "requires -sink") {
+		t.Errorf("-claim without -sink not rejected:\n%s", out)
+	}
+	out = runCmdErr(t, "bmlsim", "-sweep", "-sink", "http://127.0.0.1:1", "-claim", "2", "-shard", "0/2", "-days", "1")
+	if !strings.Contains(out, "conflicts") {
+		t.Errorf("-claim with -shard not rejected:\n%s", out)
+	}
+	out = runCmdErr(t, "bmlsim", "-sweep", "-die-after", "1", "-stall-after", "1", "-days", "1")
+	if !strings.Contains(out, "one fault injection") {
+		t.Errorf("double fault injection not rejected:\n%s", out)
+	}
+
+	runCmdExit(t, 2, "bmlsweep", "-run-token", "x", "-spawn", "1")
+	runCmdExit(t, 2, "bmlsweep", "-v1-auth", "-serve", "127.0.0.1:0")
+	runCmdExit(t, 2, "bmlsweep", "-tls-cert", "c.pem", "-serve", "127.0.0.1:0")
+	runCmdExit(t, 2, "bmlsweep", "-journal-dir", "x", "-spawn", "1")
+	runCmdExit(t, 2, "bmlsweep", "-register", "http://127.0.0.1:1/", "-spawn", "1")
+	runCmdExit(t, 2, "bmlsweep", "-lease-ttl", "0s", "-serve", "127.0.0.1:0")
 }

@@ -97,15 +97,25 @@ func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
 		// progress lines (and everything that greps them) unchanged.
 		cached = fmt.Sprintf(", %d from cache", st.Cached)
 	}
+	if st.Leased > 0 {
+		// Lease accounting only appears when claiming workers are active,
+		// keeping classic shard-worker status lines unchanged.
+		cached += fmt.Sprintf(", %d leased", st.Leased)
+	}
 	_, err := fmt.Fprintf(w, "sweep: %d/%d cells received (%d pending, %d failed, %d duplicates, %d foreign%s)\n",
 		st.Received, st.Total, st.Pending, st.Failed, st.Duplicates, st.Unknown, cached)
 	if err != nil {
 		return err
 	}
 	for _, r := range st.Remotes {
-		// A growing age with cells pending is a stalled — not dead — worker.
-		if _, err = fmt.Fprintf(w, "  worker %s: %d records, last ingest %.0fs ago\n",
-			r.Remote, r.Records, r.LastIngestAgeSeconds); err != nil {
+		// A growing age with cells pending is a stalled — not dead — worker;
+		// when it also holds leases, the lease supervisor will reclaim them.
+		held := ""
+		if r.Leased > 0 {
+			held = fmt.Sprintf(", holds %d leases", r.Leased)
+		}
+		if _, err = fmt.Fprintf(w, "  worker %s: %d records, last ingest %.0fs ago%s\n",
+			r.Remote, r.Records, r.LastIngestAgeSeconds, held); err != nil {
 			return err
 		}
 	}
@@ -116,6 +126,29 @@ func SweepStatus(w io.Writer, st sim.IngestStatus, pending []string) error {
 			return err
 		}
 		if _, err = fmt.Fprintf(w, "  pending: %s\n", id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FleetStatus renders a multi-run coordinator's per-run progress — one
+// line per hosted run, in creation order — the operator-facing view of a
+// fleet coordinator (bmlsweep -serve progress lines once more than one run
+// is hosted, and the run summary printed at exit).
+func FleetStatus(w io.Writer, runs []sim.RunStatus) error {
+	for _, rs := range runs {
+		st := rs.Status
+		state := "in progress"
+		if st.Complete {
+			state = "complete"
+		}
+		leased := ""
+		if st.Leased > 0 {
+			leased = fmt.Sprintf(", %d leased", st.Leased)
+		}
+		if _, err := fmt.Fprintf(w, "run %s: %d/%d cells received (%d pending, %d failed%s) — %s\n",
+			rs.Run, st.Received, st.Total, st.Pending, st.Failed, leased, state); err != nil {
 			return err
 		}
 	}

@@ -200,4 +200,43 @@ func TestSweepStatus(t *testing.T) {
 	if want := "3 duplicates, 1 foreign, 5 from cache)"; !strings.Contains(sb.String(), want) {
 		t.Errorf("warm status missing %q:\n%s", want, sb.String())
 	}
+
+	// Lease accounting only appears when claiming workers hold leases.
+	if strings.Contains(sb.String(), "leased") || strings.Contains(sb.String(), "holds") {
+		t.Errorf("lease-free status mentioned leases:\n%s", sb.String())
+	}
+	st.Leased = 4
+	st.Remotes[0].Leased = 4
+	sb.Reset()
+	if err := SweepStatus(&sb, st, pending); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"5 from cache, 4 leased)",
+		"worker host-a:101:shard=0/2: 4 records, last ingest 2s ago, holds 4 leases",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("leased status missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestFleetStatus(t *testing.T) {
+	runs := []sim.RunStatus{
+		{Run: "default", Status: sim.IngestStatus{Total: 8, Received: 8, Complete: true}},
+		{Run: "team-b", Status: sim.IngestStatus{Total: 6, Received: 2, Pending: 4, Failed: 1, Leased: 3}},
+	}
+	var sb strings.Builder
+	if err := FleetStatus(&sb, runs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"run default: 8/8 cells received (0 pending, 0 failed) — complete",
+		"run team-b: 2/6 cells received (4 pending, 1 failed, 3 leased) — in progress",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet status missing %q:\n%s", want, out)
+		}
+	}
 }

@@ -161,45 +161,71 @@ func (c *DirCache) Put(rec CellRecord) error {
 }
 
 // HTTPCache treats a bmlsweep ingest coordinator as a shared cache
-// server: Get asks GET /v1/cells?id=... for the coordinator's journaled
+// server: Get asks GET /v1/cells?id=... (or the named run's
+// /v2/runs/{run}/cells with WithCacheRun) for the coordinator's journaled
 // success (404 = miss), and Put streams the record in exactly like a
 // worker sink POST, where first-success-wins dedup makes concurrent or
 // repeated writers harmless. A long-lived coordinator over a grid
 // therefore doubles as a team-wide result cache for that grid.
 type HTTPCache struct {
 	endpoint string
+	run      string // named run (resolved into endpoint by NewHTTPCache)
+	token    string // bearer token sent with every request
 	client   *http.Client
 }
 
-// CacheOption configures an HTTPCache.
+// CacheOption configures an HTTPCache. Options only apply to coordinator
+// (http/https) caches; OpenCellCache ignores them for local directories.
 type CacheOption func(*HTTPCache)
 
-// WithCacheClient substitutes the HTTP client (timeouts, test servers).
+// WithCacheClient substitutes the HTTP client (timeouts, TLS trust, test
+// servers).
 func WithCacheClient(c *http.Client) CacheOption {
 	return func(h *HTTPCache) { h.client = c }
 }
 
+// WithCacheRun addresses the named run on a multi-run fleet coordinator:
+// reads and write-backs go to <base>/v2/runs/{run}/cells instead of the
+// default-run /v1/cells. The empty string keeps the /v1 default.
+func WithCacheRun(run string) CacheOption {
+	return func(h *HTTPCache) { h.run = run }
+}
+
+// WithCacheToken sends `Authorization: Bearer <token>` with every request —
+// the fleet's global token or the run's own. The empty string sends
+// nothing.
+func WithCacheToken(token string) CacheOption {
+	return func(h *HTTPCache) { h.token = token }
+}
+
 // NewHTTPCache builds a cache client for the coordinator at base,
-// resolving the schema-versioned /v1/cells endpoint the same way
-// NewHTTPSink does.
+// resolving the schema-versioned cells endpoint the same way NewHTTPSink
+// does (a WithCacheRun run name changes it).
 func NewHTTPCache(base string, opts ...CacheOption) (*HTTPCache, error) {
-	endpoint, err := cellsEndpoint(base)
-	if err != nil {
-		return nil, err
-	}
 	h := &HTTPCache{
-		endpoint: endpoint,
-		client:   &http.Client{Timeout: 30 * time.Second},
+		client: &http.Client{Timeout: 30 * time.Second},
 	}
 	for _, opt := range opts {
 		opt(h)
 	}
+	endpoint, err := apiEndpoint(base, h.run, "cells")
+	if err != nil {
+		return nil, err
+	}
+	h.endpoint = endpoint
 	return h, nil
 }
 
 // Get fetches the coordinator's journaled success for id; 404 is a miss.
 func (h *HTTPCache) Get(id string) (CellRecord, bool, error) {
-	resp, err := h.client.Get(h.endpoint + "?id=" + url.QueryEscape(id))
+	req, err := http.NewRequest(http.MethodGet, h.endpoint+"?id="+url.QueryEscape(id), nil)
+	if err != nil {
+		return CellRecord{}, false, fmt.Errorf("sim: cache %s: %w", h.endpoint, err)
+	}
+	if h.token != "" {
+		req.Header.Set("Authorization", "Bearer "+h.token)
+	}
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return CellRecord{}, false, fmt.Errorf("sim: cache %s: %w", h.endpoint, err)
 	}
@@ -240,6 +266,7 @@ func (h *HTTPCache) Put(rec CellRecord) error {
 	rec.Cached = false
 	s := &HTTPSink{
 		endpoint: h.endpoint,
+		token:    h.token,
 		client:   h.client,
 		batchCap: 1,
 		retries:  2,
@@ -251,12 +278,14 @@ func (h *HTTPCache) Put(rec CellRecord) error {
 }
 
 // OpenCellCache resolves a -cache flag value: an http:// or https:// URL
-// opens the coordinator at that address as a shared HTTPCache; anything
-// else is a local directory path, created if needed. Both commands
-// (bmlsim -cache, bmlsweep -cache) accept the same spellings.
-func OpenCellCache(spec string) (CellCache, error) {
+// opens the coordinator at that address as a shared HTTPCache (configured
+// by the options — run name, token, TLS-aware client); anything else is a
+// local directory path, created if needed, for which the options are
+// irrelevant and ignored. All commands (bmlsim, bmlsweep, bmlpaper
+// -cache) accept the same spellings.
+func OpenCellCache(spec string, opts ...CacheOption) (CellCache, error) {
 	if strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://") {
-		return NewHTTPCache(spec)
+		return NewHTTPCache(spec, opts...)
 	}
 	return NewDirCache(spec)
 }

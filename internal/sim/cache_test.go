@@ -206,7 +206,7 @@ func TestWarmCacheDifferential(t *testing.T) {
 // record is a hard Put error.
 func TestHTTPCacheAgainstIngest(t *testing.T) {
 	jobs, recs := gridAndRecords(t)
-	ing := NewIngest(jobs, nil)
+	ing := NewIngest(jobs)
 	srv := httptest.NewServer(ing)
 	defer srv.Close()
 

@@ -496,7 +496,7 @@ func TestAblationGridKillResumeMatchesPerConfigSweeps(t *testing.T) {
 		}
 	}
 
-	ing := NewIngest(jobs, nil)
+	ing := NewIngest(jobs)
 	srv := httptest.NewServer(ing)
 	defer srv.Close()
 

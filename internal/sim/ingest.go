@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,7 +22,8 @@ import (
 // is a set difference: re-read the journal, re-enumerate the grid, and
 // re-dispatch only the missing cells.
 //
-// The HTTP surface is schema-versioned under /v1/:
+// The HTTP surface is schema-versioned. One Ingest serves the original
+// single-grid /v1/ API:
 //
 //	POST /v1/cells           JSONL CellRecords (same lines a -out file holds)
 //	GET  /v1/cells?id=<id>   the journaled success for one canonical cell ID
@@ -30,22 +32,44 @@ import (
 //	GET  /v1/pending         outstanding canonical cell IDs, one per line
 //	GET  /v1/status          IngestStatus as JSON
 //
+// The multi-run /v2/ surface (named runs, worker leases, per-run tokens)
+// is served by Fleet (fleet.go), which hosts many Ingests and routes
+// /v2/runs/{run}/... to the right one — while delegating /v1/* to a
+// designated default run byte-compatibly, so pre-v2 workers and scripts
+// keep working against a fleet coordinator unchanged:
+//
+//	GET  /v2/runs                          list hosted runs with status
+//	PUT  /v2/runs/{run}                    create a run from its cell IDs
+//	GET  /v2/runs/{run}                    one run's IngestStatus
+//	POST /v2/runs/{run}/cells              JSONL CellRecords (as /v1/cells)
+//	GET  /v2/runs/{run}/cells[?id=<id>]    one success, or every record
+//	GET  /v2/runs/{run}/pending            outstanding cell IDs
+//	GET  /v2/runs/{run}/status             IngestStatus as JSON
+//	POST /v2/runs/{run}/lease              claim pending cells under a TTL lease
+//
 // Dedup mirrors MergeCells exactly: the first successful record for a cell
 // wins (later re-runs with different wall times are counted as duplicates
-// and dropped), and a successful record replaces a failed one.
+// and dropped), and a successful record replaces a failed one. Leases do
+// not weaken that invariant — a lease only steers which worker computes a
+// cell next; whoever posts the first success wins, and a late post from a
+// worker whose lease expired mid-compute is a counted duplicate.
 
 // RemoteStatus is one worker's liveness entry in the status snapshot: how
 // many records it has POSTed and how long ago its last ingest was. A
 // worker whose age keeps growing while cells are pending is stalled — not
 // dead, so no connection error ever fires — and this is how an operator
-// (or a supervising script polling /v1/status) sees it.
+// (or a supervising script polling /v1/status) sees it. Leased counts the
+// cells the worker currently holds under lease; the lease supervisor acts
+// on exactly this combination (old age + held leases = stalled worker).
 type RemoteStatus struct {
 	Remote               string  `json:"remote"`
 	Records              int     `json:"records"`
 	LastIngestAgeSeconds float64 `json:"last_ingest_age_s"`
+	Leased               int     `json:"leased,omitempty"`
 }
 
-// IngestStatus is the coordinator's progress snapshot (GET /v1/status).
+// IngestStatus is the coordinator's progress snapshot (GET /v1/status,
+// GET /v2/runs/{run}/status).
 type IngestStatus struct {
 	Total      int  `json:"total"`            // cells in the expected grid
 	Received   int  `json:"received"`         // cells with a successful record
@@ -54,6 +78,7 @@ type IngestStatus struct {
 	Duplicates int  `json:"duplicates"`       // records dropped by first-success-wins dedup
 	Unknown    int  `json:"unknown"`          // records foreign to the expected grid
 	Cached     int  `json:"cached,omitempty"` // accepted successes served from a result cache, not simulated
+	Leased     int  `json:"leased,omitempty"` // pending cells currently held under an unexpired worker lease
 	Complete   bool `json:"complete"`         // Pending == 0
 
 	// Remotes lists every worker that has POSTed cells, sorted by name,
@@ -72,8 +97,20 @@ type IngestResponse struct {
 	Complete     bool   `json:"complete"`
 }
 
+// DefaultLeaseTTL is the lease duration used when WithLeaseTTL is not
+// given: long enough that a healthy worker's per-cell posts (each one a
+// heartbeat) always renew in time, short enough that a stalled worker's
+// cells return to the pool within minutes.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// cellLease records which worker holds a pending cell and until when.
+type cellLease struct {
+	worker string
+	expiry time.Time
+}
+
 // Ingest tracks one expected grid against the records workers stream in.
-// Safe for concurrent use; implements http.Handler.
+// Safe for concurrent use; implements http.Handler (the /v1/ surface).
 type Ingest struct {
 	mu       sync.Mutex
 	order    []string // expected cell IDs in grid order
@@ -88,7 +125,10 @@ type Ingest struct {
 	done     chan struct{}
 	closed   bool
 	remotes  map[string]*remoteInfo
-	now      func() time.Time // test hook for liveness ages
+	leases   map[string]cellLease // pending cell ID → holder (released on success, reclaimed on expiry)
+	leaseTTL time.Duration
+	token    string           // bearer token required by ServeHTTP when non-empty
+	now      func() time.Time // injectable clock for liveness ages and lease expiry
 }
 
 // remoteInfo is one worker's liveness accounting.
@@ -97,30 +137,85 @@ type remoteInfo struct {
 	last    time.Time
 }
 
-// NewIngest builds a coordinator for the expected grid. When journal is
-// non-nil, every record that changes state (first record for a cell, or a
-// success replacing a failure) is appended to it as one JSON line before
-// it is acknowledged, so a coordinator killed mid-run can resume from the
-// journal alone; when the journal also implements Sync() error (an
-// *os.File), each acknowledged batch is synced first and Done only fires
-// once the completing records are durable. Duplicates are acknowledged but
-// not journaled — replaying a journal therefore reproduces the
-// coordinator's state exactly.
-func NewIngest(expected []SweepJob, journal io.Writer) *Ingest {
-	ids := CellIDs(expected)
+// IngestOption configures a coordinator built by NewIngest.
+type IngestOption func(*Ingest)
+
+// WithJournal appends every state-changing record (first record for a
+// cell, or a success replacing a failure) to w as one JSON line before it
+// is acknowledged, so a coordinator killed mid-run can resume from the
+// journal alone. When w also implements Sync() error (an *os.File), each
+// acknowledged batch is synced first and Done only fires once the
+// completing records are durable. Duplicates are acknowledged but not
+// journaled — replaying a journal therefore reproduces the coordinator's
+// state exactly.
+func WithJournal(w io.Writer) IngestOption {
+	return func(g *Ingest) { g.journal = w }
+}
+
+// WithAuth requires `Authorization: Bearer <token>` on every HTTP request
+// this Ingest serves (401 otherwise). Standalone this protects the /v1/
+// surface; under a Fleet it is the run's per-run token, accepted alongside
+// the fleet's global token on that run's /v2 endpoints. The empty string
+// leaves the surface open (the /v1 compatibility default).
+func WithAuth(token string) IngestOption {
+	return func(g *Ingest) { g.token = token }
+}
+
+// WithLeaseTTL sets how long a claimed cell stays reserved for its worker
+// without a heartbeat (any POST from that worker renews all its leases).
+// Shorter TTLs re-dispatch a stalled worker's cells sooner but tolerate
+// less per-cell compute time between posts. Non-positive values keep
+// DefaultLeaseTTL.
+func WithLeaseTTL(d time.Duration) IngestOption {
+	return func(g *Ingest) {
+		if d > 0 {
+			g.leaseTTL = d
+		}
+	}
+}
+
+// WithClock substitutes the time source used for liveness ages and lease
+// expiry — deterministic lease tests advance a fake clock instead of
+// sleeping.
+func WithClock(now func() time.Time) IngestOption {
+	return func(g *Ingest) {
+		if now != nil {
+			g.now = now
+		}
+	}
+}
+
+// NewIngest builds a coordinator for the expected grid. By default it
+// journals nothing, serves unauthenticated (the /v1 compatibility
+// behavior), and leases cells for DefaultLeaseTTL; see WithJournal,
+// WithAuth, WithLeaseTTL, WithClock.
+func NewIngest(expected []SweepJob, opts ...IngestOption) *Ingest {
+	return NewIngestIDs(CellIDs(expected), opts...)
+}
+
+// NewIngestIDs builds a coordinator from canonical cell IDs alone — how a
+// Fleet creates a run for a remote client (PUT /v2/runs/{run} carries the
+// IDs, which are pure functions of the grid, so the coordinator never
+// needs the client's trace files to track pending cells).
+func NewIngestIDs(ids []string, opts ...IngestOption) *Ingest {
 	want := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		want[id] = true
 	}
-	return &Ingest{
-		order:   ids,
-		want:    want,
-		got:     make(map[string]CellRecord, len(ids)),
-		journal: journal,
-		done:    make(chan struct{}),
-		remotes: make(map[string]*remoteInfo),
-		now:     time.Now,
+	g := &Ingest{
+		order:    ids,
+		want:     want,
+		got:      make(map[string]CellRecord, len(ids)),
+		done:     make(chan struct{}),
+		remotes:  make(map[string]*remoteInfo),
+		leases:   make(map[string]cellLease),
+		leaseTTL: DefaultLeaseTTL,
+		now:      time.Now,
 	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
 }
 
 // Prime seeds records already persisted (a journal read back on resume)
@@ -185,6 +280,9 @@ func (g *Ingest) addLocked(rec CellRecord, journalErr *error) (accepted, duplica
 		if seen { // success replacing a failure
 			g.failed--
 		}
+		// The cell is covered: its lease (if any) has served its purpose,
+		// whoever held it.
+		delete(g.leases, rec.ID)
 	case !seen:
 		g.failed++
 	}
@@ -223,7 +321,8 @@ func (g *Ingest) Done() <-chan struct{} { return g.done }
 
 // Pending returns the canonical IDs of expected cells that still lack a
 // successful record, in grid order — exactly what a re-dispatched worker
-// should run (bmlsim -sweep -only).
+// should run (bmlsim -sweep -only). Leased cells are included: a lease is
+// a scheduling hint, not coverage.
 func (g *Ingest) Pending() []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -236,8 +335,76 @@ func (g *Ingest) Pending() []string {
 	return out
 }
 
+// Claim reserves up to max pending, unleased cells for worker under the
+// coordinator's lease TTL and returns their canonical IDs in grid order —
+// the server half of POST /v2/runs/{run}/lease. Cells whose lease has
+// expired are reclaimable immediately. A claim is also a heartbeat: all of
+// the worker's existing leases are renewed, so a worker that claims in
+// batches never loses an earlier batch mid-compute.
+func (g *Ingest) Claim(worker string, max int) []string {
+	if worker == "" || max <= 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.now()
+	expiry := now.Add(g.leaseTTL)
+	g.renewLocked(worker, expiry)
+	var out []string
+	for _, id := range g.order {
+		if len(out) >= max {
+			break
+		}
+		if rec, ok := g.got[id]; ok && rec.Err == "" {
+			continue // covered
+		}
+		if l, ok := g.leases[id]; ok && l.worker != worker && l.expiry.After(now) {
+			continue // someone else holds it
+		}
+		g.leases[id] = cellLease{worker: worker, expiry: expiry}
+		out = append(out, id)
+	}
+	return out
+}
+
+// renewLocked extends every lease worker holds to the new expiry — the
+// heartbeat path, driven by claims and by every cells POST carrying the
+// worker's X-Bml-Worker identity.
+func (g *Ingest) renewLocked(worker string, expiry time.Time) {
+	for id, l := range g.leases {
+		if l.worker == worker {
+			l.expiry = expiry
+			g.leases[id] = l
+		}
+	}
+}
+
+// ExpireLeases releases every lease whose TTL has passed and returns the
+// freed cell IDs grouped by the worker that went quiet — the supervisor's
+// re-dispatch input. The cells return to the claimable pool atomically
+// with this call; nothing else changes (they were pending all along).
+func (g *Ingest) ExpireLeases() map[string][]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.now()
+	var freed map[string][]string
+	for id, l := range g.leases {
+		if !l.expiry.After(now) {
+			if freed == nil {
+				freed = make(map[string][]string)
+			}
+			freed[l.worker] = append(freed[l.worker], id)
+			delete(g.leases, id)
+		}
+	}
+	for _, ids := range freed {
+		sort.Strings(ids)
+	}
+	return freed
+}
+
 // Status returns the progress snapshot, including per-remote liveness
-// (ages computed against the snapshot time).
+// (ages computed against the snapshot time) and lease counts.
 func (g *Ingest) Status() IngestStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -251,14 +418,22 @@ func (g *Ingest) Status() IngestStatus {
 	}
 	st.Pending = st.Total - st.Received
 	st.Complete = st.Pending == 0
+	now := g.now()
+	leasedBy := make(map[string]int)
+	for _, l := range g.leases {
+		if l.expiry.After(now) {
+			st.Leased++
+			leasedBy[l.worker]++
+		}
+	}
 	if len(g.remotes) > 0 {
-		now := g.now()
 		st.Remotes = make([]RemoteStatus, 0, len(g.remotes))
 		for name, info := range g.remotes {
 			st.Remotes = append(st.Remotes, RemoteStatus{
 				Remote:               name,
 				Records:              info.records,
 				LastIngestAgeSeconds: now.Sub(info.last).Seconds(),
+				Leased:               leasedBy[name],
 			})
 		}
 		sort.Slice(st.Remotes, func(i, j int) bool { return st.Remotes[i].Remote < st.Remotes[j].Remote })
@@ -280,8 +455,32 @@ func (g *Ingest) Records() []CellRecord {
 	return out
 }
 
-// ServeHTTP routes the /v1/ ingest API.
+// authorized reports whether the request may use this Ingest's surface:
+// always when no token is configured, otherwise only with the matching
+// bearer token (constant-time compare).
+func (g *Ingest) authorized(r *http.Request) bool {
+	return g.token == "" || bearerMatch(r, g.token)
+}
+
+// bearerMatch checks the Authorization header against one bearer token in
+// constant time.
+func bearerMatch(r *http.Request, token string) bool {
+	return subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+token)) == 1
+}
+
+// deny401 rejects an unauthenticated or wrongly-authenticated request.
+func deny401(w http.ResponseWriter) {
+	w.Header().Set("WWW-Authenticate", `Bearer realm="bmlsweep"`)
+	http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+}
+
+// ServeHTTP routes the /v1/ ingest API (the multi-run /v2/ surface is
+// Fleet's). With WithAuth, every request needs the bearer token first.
 func (g *Ingest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !g.authorized(r) {
+		deny401(w)
+		return
+	}
 	switch r.URL.Path {
 	case "/v1/cells":
 		switch r.Method {
@@ -297,21 +496,31 @@ func (g *Ingest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "GET /v1/pending", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, id := range g.Pending() {
-			fmt.Fprintln(w, id)
-		}
+		g.handlePending(w)
 	case "/v1/status":
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET /v1/status", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(g.Status())
+		g.handleStatus(w)
 	default:
-		http.Error(w, "unknown path (this ingest API is schema-versioned: POST /v1/cells, GET /v1/pending, GET /v1/status)",
+		http.Error(w, "unknown path (this ingest API is schema-versioned: POST /v1/cells, GET /v1/pending, GET /v1/status; multi-run fleet coordinators add /v2/runs/...)",
 			http.StatusNotFound)
 	}
+}
+
+// handlePending writes the pending cell IDs, one per line.
+func (g *Ingest) handlePending(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, id := range g.Pending() {
+		fmt.Fprintln(w, id)
+	}
+}
+
+// handleStatus writes the status snapshot as JSON.
+func (g *Ingest) handleStatus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(g.Status())
 }
 
 // handleCellGet serves the coordinator's journaled success for one
@@ -339,9 +548,25 @@ func (g *Ingest) handleCellGet(w http.ResponseWriter, r *http.Request) {
 	_ = WriteCellRecord(w, rec) // client disconnect mid-write; nothing to recover
 }
 
+// handleRecords streams every record the coordinator holds (best per
+// covered cell, grid order) as JSONL — GET /v2/runs/{run}/cells without
+// ?id=, the remote-merge path for runs whose journal lives on the
+// coordinator host.
+func (g *Ingest) handleRecords(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, rec := range g.Records() {
+		if WriteCellRecord(w, rec) != nil {
+			return // client disconnect mid-stream; nothing to recover
+		}
+	}
+}
+
 // WorkerHeader identifies the posting worker for the per-remote liveness
-// view. HTTPSink sets it to host:pid (plus the shard, when the worker
-// knows one); posts without it are attributed to their source address.
+// view and for lease heartbeats. HTTPSink sets it to host:pid (plus the
+// shard or claim mode, when the worker knows one); posts without it are
+// attributed to their source address. A lease-claiming worker MUST post
+// under the same identity it claims with, or its posts will not renew its
+// leases.
 const WorkerHeader = "X-Bml-Worker"
 
 // remoteLabel names the posting worker for liveness accounting.
@@ -373,14 +598,18 @@ func (g *Ingest) handleCells(w http.ResponseWriter, r *http.Request) {
 	var resp IngestResponse
 	g.mu.Lock()
 	// Liveness: the worker proved itself alive by POSTing, whatever the
-	// batch's fate below.
-	info := g.remotes[remoteLabel(r)]
+	// batch's fate below — and a live worker keeps its leases (the
+	// heartbeat half of claim → heartbeat → expire).
+	now := g.now()
+	label := remoteLabel(r)
+	info := g.remotes[label]
 	if info == nil {
 		info = &remoteInfo{}
-		g.remotes[remoteLabel(r)] = info
+		g.remotes[label] = info
 	}
 	info.records += len(recs)
-	info.last = g.now()
+	info.last = now
+	g.renewLocked(label, now.Add(g.leaseTTL))
 	var journalFailure error
 	for _, rec := range recs {
 		accepted, duplicate, unknown := g.addLocked(rec, &journalFailure)
@@ -422,6 +651,57 @@ func (g *Ingest) handleCells(w http.ResponseWriter, r *http.Request) {
 		// of this batch will dedup.
 		http.Error(w, fmt.Sprintf("journal write failed: %v", journalFailure), http.StatusInternalServerError)
 		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// LeaseRequest is the body of POST /v2/runs/{run}/lease: which worker is
+// claiming and how many cells it wants at most.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// LeaseResponse answers a claim: the cell IDs now leased to the worker (in
+// grid order, possibly empty when everything pending is leased elsewhere),
+// the lease TTL the worker must heartbeat within, and the run's progress
+// so a polling worker knows when to stop.
+type LeaseResponse struct {
+	Cells      []string `json:"cells"`
+	TTLSeconds float64  `json:"ttl_s"`
+	Pending    int      `json:"pending"`
+	Complete   bool     `json:"complete"`
+}
+
+// handleLease serves one claim (POST /v2/runs/{run}/lease).
+func (g *Ingest) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `POST {"worker":"...","max":N} to claim pending cells under a lease`, http.StatusMethodNotAllowed)
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad lease request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, `lease request needs a non-empty "worker" identity (it must match the X-Bml-Worker header the worker posts cells with)`, http.StatusBadRequest)
+		return
+	}
+	if req.Max <= 0 {
+		http.Error(w, `lease request needs "max" > 0`, http.StatusBadRequest)
+		return
+	}
+	resp := LeaseResponse{
+		Cells:      g.Claim(req.Worker, req.Max),
+		TTLSeconds: g.leaseTTL.Seconds(),
+	}
+	st := g.Status()
+	resp.Pending = st.Pending
+	resp.Complete = st.Complete
+	if resp.Cells == nil {
+		resp.Cells = []string{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -41,7 +41,7 @@ func ingestFixture(t *testing.T, journal *bytes.Buffer) (*Ingest, []SweepJob, []
 	if journal != nil {
 		jw = journal
 	}
-	return NewIngest(jobs, jw), jobs, recs
+	return NewIngest(jobs, WithJournal(jw)), jobs, recs
 }
 
 func postCells(t *testing.T, srv *httptest.Server, recs ...CellRecord) IngestResponse {
@@ -324,7 +324,7 @@ func (w *failingWriter) Write(p []byte) (int, error) {
 func TestIngestJournalFailureKeepsRecordRetryable(t *testing.T) {
 	jobs, recs := gridAndRecords(t)
 	jw := &failingWriter{}
-	ing := NewIngest(jobs, jw)
+	ing := NewIngest(jobs, WithJournal(jw))
 	srv := httptest.NewServer(ing)
 	defer srv.Close()
 
@@ -395,7 +395,7 @@ func (w *syncFailingWriter) Sync() error {
 func TestIngestSyncFailureDefersAckAndDone(t *testing.T) {
 	jobs, recs := gridAndRecords(t)
 	jw := &syncFailingWriter{}
-	ing := NewIngest(jobs, jw)
+	ing := NewIngest(jobs, WithJournal(jw))
 	srv := httptest.NewServer(ing)
 	defer srv.Close()
 
@@ -451,7 +451,7 @@ func TestIngestPrimeMatchesLiveState(t *testing.T) {
 	srv.Close()
 
 	// Prime: a fresh coordinator fed the same records directly.
-	fresh := NewIngest(jobs, nil)
+	fresh := NewIngest(jobs)
 	if _, err := fresh.Prime([]CellRecord{recs[0], recs[1], recs[0], alien}); err != nil {
 		t.Fatal(err)
 	}

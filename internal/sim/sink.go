@@ -2,6 +2,8 @@ package sim
 
 import (
 	"bytes"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -79,13 +81,15 @@ type sinkPermanentError struct{ msg string }
 func (e *sinkPermanentError) Error() string { return e.msg }
 
 // HTTPSink streams cell records to a bmlsweep ingest endpoint. Records are
-// POSTed to <base>/v1/cells as JSON Lines — byte-identical to what a
+// POSTed to <base>/v1/cells — or, with WithSinkRun, to the named run at
+// <base>/v2/runs/{run}/cells — as JSON Lines, byte-identical to what a
 // worker's -out file would hold, so the coordinator accepts either
 // transport interchangeably. Transient failures (network errors, 5xx)
-// retry with exponential backoff; permanent rejections (4xx, or a 200
-// whose accounting reports the records foreign to the coordinator's grid)
-// fail immediately so a misconfigured worker dies loudly instead of
-// hammering the coordinator.
+// retry with exponential backoff; permanent rejections (4xx — including a
+// 401 from a missing or wrong bearer token — or a 200 whose accounting
+// reports the records foreign to the coordinator's grid) fail immediately
+// so a misconfigured worker dies loudly instead of hammering the
+// coordinator.
 //
 // By default every record is flushed (POSTed) as it is emitted, so a
 // worker killed mid-grid has already made each completed cell durable on
@@ -93,13 +97,15 @@ func (e *sinkPermanentError) Error() string { return e.msg }
 // WithSinkBatch trades that per-cell durability for fewer requests.
 type HTTPSink struct {
 	endpoint string
+	run      string // named run (resolved into endpoint by NewHTTPSink)
+	token    string // bearer token sent with every request
 	client   *http.Client
 	batchCap int
 	retries  int
 	backoff  time.Duration
 	sleep    func(time.Duration) // test hook
 	batch    []CellRecord
-	worker   string // X-Bml-Worker identity for coordinator liveness
+	worker   string // X-Bml-Worker identity for coordinator liveness and lease heartbeats
 }
 
 // SinkOption configures an HTTPSink.
@@ -148,12 +154,30 @@ func WithSinkRetries(retries int, backoff time.Duration) SinkOption {
 	}
 }
 
-// cellsEndpoint resolves a coordinator base URL to its schema-versioned
-// /v1/cells endpoint: a base without a path gets "/v1/cells" appended; a
-// base that already names a /v1/ path is used as given. Shared by
-// HTTPSink (worker → coordinator streaming) and HTTPCache (coordinator as
-// cache server), so both accept the same -sink/-cache URL spellings.
-func cellsEndpoint(base string) (string, error) {
+// WithSinkRun addresses the named run on a multi-run fleet coordinator:
+// records POST to <base>/v2/runs/{run}/cells instead of the default-run
+// /v1/cells. The empty string keeps the /v1 default.
+func WithSinkRun(run string) SinkOption {
+	return func(s *HTTPSink) { s.run = run }
+}
+
+// WithSinkToken sends `Authorization: Bearer <token>` with every request —
+// the fleet's global token or the run's own. A coordinator that rejects it
+// answers 401, which the sink treats as permanent (fail fast, no retries).
+// The empty string sends nothing.
+func WithSinkToken(token string) SinkOption {
+	return func(s *HTTPSink) { s.token = token }
+}
+
+// apiEndpoint resolves a coordinator base URL plus an optional run name to
+// one schema-versioned resource endpoint. With no run, a base without a
+// path gets "/v1/<resource>" appended and a base that already names a
+// /v1/ path is used as given; with a run, the base must be bare (the run
+// name picks the /v2 path: "/v2/runs/{run}/<resource>"). Shared by
+// HTTPSink (worker → coordinator streaming), HTTPCache (coordinator as
+// cache server), and ClaimCells, so all accept the same -sink/-cache URL
+// spellings.
+func apiEndpoint(base, run, resource string) (string, error) {
 	u, err := url.Parse(base)
 	if err != nil {
 		return "", fmt.Errorf("sim: sink URL %q: %w", base, err)
@@ -165,30 +189,34 @@ func cellsEndpoint(base string) (string, error) {
 		return "", fmt.Errorf("sim: sink URL %q: missing host", base)
 	}
 	trimmed := strings.TrimRight(base, "/")
+	if run != "" {
+		if u.Path != "" && u.Path != "/" {
+			return "", fmt.Errorf("sim: sink URL %q: a named run picks the API path itself; give a bare coordinator URL with -run %s", base, run)
+		}
+		if !runNameOK(run) {
+			return "", fmt.Errorf("sim: invalid run name %q (want [A-Za-z0-9._-]{1,128})", run)
+		}
+		return trimmed + "/v2/runs/" + url.PathEscape(run) + "/" + resource, nil
+	}
 	switch {
 	case strings.HasSuffix(trimmed, "/v1"):
 		// ".../v1" or ".../v1/" name the API root: complete the path.
-		return trimmed + "/cells", nil
+		return trimmed + "/" + resource, nil
 	case strings.Contains(u.Path, "/v1/"):
 		// An explicit endpoint path is used as given (minus a trailing
 		// slash the exact-match router would 404).
 		return trimmed, nil
 	default:
-		return trimmed + "/v1/cells", nil
+		return trimmed + "/v1/" + resource, nil
 	}
 }
 
 // NewHTTPSink builds a sink for the coordinator at base (e.g.
 // "http://127.0.0.1:8080"). The ingest path is schema-versioned, resolved
-// by cellsEndpoint.
+// by apiEndpoint after the options (a WithSinkRun run name changes it).
 func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
-	endpoint, err := cellsEndpoint(base)
-	if err != nil {
-		return nil, err
-	}
 	host, _ := os.Hostname()
 	s := &HTTPSink{
-		endpoint: endpoint,
 		client:   &http.Client{Timeout: 30 * time.Second},
 		batchCap: 1,
 		retries:  5,
@@ -199,6 +227,11 @@ func NewHTTPSink(base string, opts ...SinkOption) (*HTTPSink, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	endpoint, err := apiEndpoint(base, s.run, "cells")
+	if err != nil {
+		return nil, err
+	}
+	s.endpoint = endpoint
 	return s, nil
 }
 
@@ -260,6 +293,9 @@ func (s *HTTPSink) post(payload []byte) error {
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	req.Header.Set(WorkerHeader, s.worker)
+	if s.token != "" {
+		req.Header.Set("Authorization", "Bearer "+s.token)
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return err // network error: retryable
@@ -293,4 +329,26 @@ func (s *HTTPSink) post(payload []byte) error {
 func SweepStreamTo(jobs []SweepJob, workers int, sink CellSink) error {
 	_, err := SweepStreamToCache(jobs, workers, sink, nil)
 	return err
+}
+
+// HTTPClientWithCA builds an HTTP client (default sink/cache timeout) that
+// trusts the PEM certificates in caFile in addition to nothing else — the
+// client half of a TLS coordinator (-tls-cert/-tls-key) using a
+// self-signed or private-CA certificate, which is the normal deployment
+// for an internal fleet service. An empty path returns a plain client.
+func HTTPClientWithCA(caFile string) (*http.Client, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if caFile == "" {
+		return client, nil
+	}
+	pem, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("sim: TLS CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("sim: TLS CA %s: no PEM certificates found", caFile)
+	}
+	client.Transport = &http.Transport{TLSClientConfig: &tls.Config{RootCAs: pool}}
+	return client, nil
 }

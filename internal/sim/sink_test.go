@@ -235,7 +235,7 @@ func TestNetworkKillResumeMatchesSweep(t *testing.T) {
 	}
 
 	var journal bytes.Buffer
-	ing := NewIngest(jobs, &journal)
+	ing := NewIngest(jobs, WithJournal(&journal))
 	srv := httptest.NewServer(ing)
 	defer srv.Close()
 
@@ -359,7 +359,7 @@ func TestNetworkKillResumeMatchesSweep(t *testing.T) {
 	if len(replayed) != len(jobs) {
 		t.Fatalf("journal holds %d records, want %d (duplicates are not journaled)", len(replayed), len(jobs))
 	}
-	fresh := NewIngest(jobs, nil)
+	fresh := NewIngest(jobs)
 	if _, err := fresh.Prime(replayed); err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestHTTPSinkRetryAfterDroppedResponseIsHarmless(t *testing.T) {
 	}
 
 	var journal bytes.Buffer
-	ing := NewIngest(jobs, &journal)
+	ing := NewIngest(jobs, WithJournal(&journal))
 	// The flaky front end: the first two POSTs are fully processed by the
 	// coordinator (journaled, folded in) but the connection is severed
 	// before any response bytes go out — the worker-visible failure mode of
@@ -462,7 +462,7 @@ func TestHTTPSinkRetryAfterDroppedResponseIsHarmless(t *testing.T) {
 	if len(replayed) != len(jobs) {
 		t.Fatalf("journal holds %d records, want %d (duplicates must not be journaled)", len(replayed), len(jobs))
 	}
-	fresh := NewIngest(jobs, nil)
+	fresh := NewIngest(jobs)
 	if _, err := fresh.Prime(replayed); err != nil {
 		t.Fatal(err)
 	}
